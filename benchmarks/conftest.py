@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Tables 1–2, Figures 1–2, the Example-2 claim) and asserts the *shape* of
+the paper's result; timings come from pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir import trace_execution
+from repro.machine import compile_design, run
+
+
+def machine_run(system, params, design, inputs, strict=True):
+    trace = trace_execution(system, params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        design.interconnect.decomposer())
+    return run(mc, trace, inputs, strict=strict), trace
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1986)

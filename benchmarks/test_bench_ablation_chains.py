@@ -1,0 +1,70 @@
+"""Ablation A1 — chain decomposition strategies.
+
+The paper constructs chains by repeatedly peeling minimal elements and
+notes that minimal decompositions exist via network-flow techniques
+(Ford–Fulkerson).  This ablation compares the constructive greedy peeling
+against a Dilworth-minimal decomposition (bipartite matching) across the DP
+posets: both must find exactly 2 chains (1 for trivial spans), and greedy's
+chains must additionally be k-monotone — the property the restructuring
+step needs and plain Dilworth does not guarantee.
+"""
+
+import pytest
+
+from repro.chains import greedy_chains, minimum_chain_decomposition, width
+from repro.chains.order import AvailabilityOrder
+from repro.problems import dp_spec
+from repro.schedule import LinearSchedule
+
+COARSE = LinearSchedule(("i", "j"), (-1, 1))
+SPEC = dp_spec()
+
+
+def all_orders(n):
+    return [AvailabilityOrder(SPEC, COARSE, (i, j))
+            for i in range(1, n) for j in range(i + 2, n + 1)]
+
+
+def greedy_all(n):
+    return [greedy_chains(o) for o in all_orders(n)]
+
+
+def dilworth_all(n):
+    out = []
+    for o in all_orders(n):
+        ks = o.k_values()
+        out.append(minimum_chain_decomposition(ks, o.greater))
+    return out
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_greedy_chain_counts(benchmark, n):
+    results = benchmark(greedy_all, n)
+    counts = [len(chains) for chains in results]
+    assert all(c <= 2 for c in counts)
+    twos = sum(1 for c in counts if c == 2)
+    print(f"\nn={n}: {len(counts)} posets, {twos} with 2 chains, "
+          f"{len(counts) - twos} with 1")
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_dilworth_matches_greedy_counts(benchmark, n):
+    dil = benchmark(dilworth_all, n)
+    greedy = greedy_all(n)
+    for d, g in zip(dil, greedy):
+        assert len(d) == len(g)
+    print(f"\nn={n}: greedy is Dilworth-minimal on every poset")
+
+
+@pytest.mark.parametrize("n", [16])
+def test_greedy_monotonicity_advantage(benchmark, n):
+    """Greedy chains are always k-monotone; raw Dilworth chains need not
+    be (both orderings count as valid chains of >_T)."""
+    greedy = benchmark(greedy_all, n)
+    for chains in greedy:
+        for c in chains:
+            diffs = [b - a for a, b in zip(c.ks, c.ks[1:])]
+            assert all(d > 0 for d in diffs) or all(d < 0 for d in diffs) \
+                or not diffs
+    print(f"\nn={n}: every greedy chain is sorted by k "
+          f"(the restructurer's requirement)")

@@ -1,0 +1,93 @@
+"""Experiment F1 — Figure 1: the triangular dynamic-programming array
+(the Guibas–Kung–Thompson design, re-derived by the synthesis pipeline).
+
+Paper's claims reproduced here:
+
+* coarse timing ``T(i,j) = j - i`` from ``D^c = {(0,1), (-1,0)}``;
+* optimal module times ``λ = -i+2j-k``, ``μ = -2i+j+k``, ``σ = -2i+2j``;
+* space maps ``S' = S'' = S = (j, i)`` on the unidirectional interconnect;
+* ~``n²/2`` cells; completion time linear in n (2n - 5 after
+  normalisation);
+* the mapped array computes correct DP tables on the systolic machine.
+"""
+
+import functools
+
+import pytest
+
+from conftest import machine_run
+from repro.arrays import FIG1_UNIDIRECTIONAL
+from repro.core import coarse_timing, restructure, synthesize
+from repro.problems import dp_inputs, dp_spec, dp_system
+from repro.reference import min_plus_dp
+from repro.report import module_table, render_array
+
+N = 12
+PARAMS = {"n": N}
+
+
+@functools.lru_cache(maxsize=1)
+def synthesize_fig1():
+    return synthesize(dp_system(), PARAMS, FIG1_UNIDIRECTIONAL)
+
+
+def test_fig1_coarse_timing(benchmark):
+    ct = benchmark(coarse_timing, dp_spec(), PARAMS)
+    assert ct.constant_deps.vector_set() == {(0, 1), (-1, 0)}
+    assert ct.schedule.coeffs == (-1, 1)
+    print(f"\ncoarse T(i,j) = {ct.schedule.as_expr()}")
+
+
+def test_fig1_synthesis(benchmark):
+    design = benchmark(lambda: synthesize(dp_system(), PARAMS,
+                                          FIG1_UNIDIRECTIONAL))
+    assert design.schedules["m1"].coeffs == (-1, 2, -1)
+    assert design.schedules["m2"].coeffs == (-2, 1, 1)
+    assert design.schedules["comb"].coeffs == (-2, 2)
+    for name in ("m1", "m2"):
+        assert design.space_maps[name].matrix == ((0, 1, 0), (1, 0, 0))
+    assert design.space_maps["comb"].matrix == ((0, 1), (1, 0))
+    print("\n" + module_table(design, f"Figure 1 design (n={N})"))
+    print(render_array(design))
+
+
+def test_fig1_cell_count(benchmark):
+    design = synthesize_fig1()
+    benchmark(design.region)
+    exact = (N - 1) * (N - 2) // 2
+    print(f"\ncells: measured {design.cell_count}, "
+          f"formula (n-1)(n-2)/2 = {exact}, paper ~n²/2 = {N * N // 2}")
+    assert design.cell_count == exact
+
+
+def test_fig1_completion_linear(benchmark):
+    design = synthesize_fig1()
+    benchmark(design.time_range)
+    assert design.completion_time == 2 * N - 5
+    print(f"\ncompletion: {design.completion_time} = 2n-5 cycles")
+
+
+def test_fig1_machine(benchmark, rng):
+    system = dp_system()
+    design = synthesize_fig1()
+    seeds = [rng.randint(1, 50) for _ in range(N - 1)]
+    inputs = dp_inputs(seeds)
+    result, trace = benchmark(machine_run, system, PARAMS, design, inputs)
+    ref = min_plus_dp(seeds, N)
+    assert all(result.results[k] == ref[k] for k in result.results)
+    s = result.stats
+    print(f"\nmachine: {s.cycles} cycles, {s.cells_used} cells, "
+          f"{s.operations} ops, {s.hops} hops, util {s.utilization:.0%}, "
+          f"capacity violations {len(s.capacity_violations)}")
+
+
+def test_fig1_from_high_level_spec(benchmark):
+    """The whole Section III–V pipeline, spec to design, in one call."""
+
+    def pipeline():
+        system = restructure(dp_spec(), params=PARAMS)
+        return synthesize(system, PARAMS, FIG1_UNIDIRECTIONAL)
+
+    design = benchmark(pipeline)
+    assert design.schedules["m1"].coeffs == (-1, 2, -1)
+    assert design.space_maps["m1"].matrix == ((0, 1, 0), (1, 0, 0))

@@ -1,0 +1,124 @@
+"""Experiment F2 — Figure 2: the new dynamic-programming design
+(Section VI), which "uses fewer processing elements than the one in [9]".
+
+Paper's claims reproduced here:
+
+* on the extended interconnect Δ = [stay, +x, -y, -x, -x-y]:
+  ``S'(i,j,k) = (k, i)``, ``S''(i,j,k) = (i+j-k, i)``, combine at
+  ``(i+1, i)``;
+* flow directions: c′ moves left, a′ stays, b′ moves up; a″ moves right,
+  b″ moves up-left along the diagonal, c″ moves left;
+* processor count: the paper states 3/8·n² (vs n²/2 for figure 1).  Our
+  exact count of the synthesized design is Σ_i floor((n-i)/2) ≈ n²/4 —
+  *fewer* than both; the qualitative claim (the new design strictly beats
+  the triangle, by a constant factor that grows to ≥ 2) holds and is
+  asserted.  EXPERIMENTS.md discusses the 3/8 vs 1/4 discrepancy.
+* same completion time as figure 1; correct DP tables on the machine.
+"""
+
+import functools
+
+import pytest
+
+from conftest import machine_run
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED
+from repro.core import synthesize
+from repro.problems import dp_inputs, dp_system
+from repro.reference import min_plus_dp
+from repro.report import module_table, render_array
+
+N = 12
+PARAMS = {"n": N}
+
+
+@functools.lru_cache(maxsize=1)
+def synthesize_fig2():
+    return synthesize(dp_system(), PARAMS, FIG2_EXTENDED)
+
+
+@functools.lru_cache(maxsize=1)
+def synthesize_fig1_baseline():
+    return synthesize(dp_system(), PARAMS, FIG1_UNIDIRECTIONAL)
+
+
+def test_fig2_synthesis(benchmark):
+    design = benchmark(lambda: synthesize(dp_system(), PARAMS,
+                                          FIG2_EXTENDED))
+    assert design.space_maps["m1"].matrix == ((0, 0, 1), (1, 0, 0))
+    assert design.space_maps["m2"].matrix == ((1, 1, -1), (1, 0, 0))
+    assert design.space_maps["comb"].matrix == ((1, 0), (1, 0))
+    assert design.space_maps["comb"].offset == (1, 0)
+    print("\n" + module_table(design, f"Figure 2 design (n={N})"))
+    print(render_array(design))
+
+
+def test_fig2_flow_directions(benchmark):
+    design = synthesize_fig2()
+    flows = benchmark(design.flows)
+    assert flows["m1"]["cp"].direction == (-1, 0)     # c' moves left
+    assert flows["m1"]["ap"].stays                    # a' stays
+    assert flows["m1"]["bp"].direction == (0, -1)     # b' moves up
+    assert flows["m2"]["app"].direction == (1, 0)     # a'' moves right
+    assert flows["m2"]["bpp"].direction == (-1, -1)   # b'' diagonal
+    assert flows["m2"]["cpp"].direction == (-1, 0)    # c'' moves left
+    print("\nflows:", {f"{m}::{v}": fl.describe()
+                       for m, d in flows.items() for v, fl in d.items()})
+
+
+def test_fig2_cell_count_vs_paper(benchmark):
+    fig2 = synthesize_fig2()
+    fig1 = synthesize_fig1_baseline()
+    benchmark(fig2.region)
+    measured = fig2.cell_count
+    exact = sum((N - i) // 2 for i in range(1, N))
+    paper_fig2 = 3 * N * N / 8
+    paper_fig1 = N * N / 2
+    print(f"\ncells: fig2 measured {measured} "
+          f"(formula Σ floor((n-i)/2) = {exact}); "
+          f"paper's 3/8 n² = {paper_fig2:.0f}; "
+          f"fig1 measured {fig1.cell_count} (paper's n²/2 = {paper_fig1:.0f})")
+    assert measured == exact
+    # Shape claims: strictly fewer cells than the triangle, and under the
+    # paper's own 3/8 n² budget.
+    assert measured < fig1.cell_count
+    assert measured <= paper_fig2
+    # The ratio approaches 1/2 of fig1's count.
+    assert measured / fig1.cell_count < 0.62
+
+
+def test_fig2_same_completion_as_fig1(benchmark):
+    fig2 = synthesize_fig2()
+    fig1 = synthesize_fig1_baseline()
+    benchmark(fig2.time_range)
+    assert fig2.completion_time == fig1.completion_time == 2 * N - 5
+    print(f"\ncompletion: both designs finish in {fig2.completion_time} "
+          f"cycles (2n-5)")
+
+
+def test_fig2_machine(benchmark, rng):
+    system = dp_system()
+    design = synthesize_fig2()
+    seeds = [rng.randint(1, 50) for _ in range(N - 1)]
+    inputs = dp_inputs(seeds)
+    result, _ = benchmark(machine_run, system, PARAMS, design, inputs)
+    ref = min_plus_dp(seeds, N)
+    assert all(result.results[k] == ref[k] for k in result.results)
+    s = result.stats
+    print(f"\nmachine: {s.cycles} cycles, {s.cells_used} cells, "
+          f"{s.operations} ops, {s.hops} hops, util {s.utilization:.0%}")
+
+
+def test_fig2_cells_do_double_duty(benchmark):
+    """The non-uniform hallmark: the same cell executes module-1 and
+    module-2 actions (at the same cycle — mirrored k and i+j-k meet)."""
+    design = synthesize_fig2()
+    benchmark(lambda: design.space_maps["m1"].cells(
+        design.module_points("m1")))
+    m1_cells = {tuple(map(int, c)) for c in
+                design.space_maps["m1"].cells(design.module_points("m1"))}
+    m2_cells = {tuple(map(int, c)) for c in
+                design.space_maps["m2"].cells(design.module_points("m2"))}
+    shared = m1_cells & m2_cells
+    print(f"\ncells shared by both chains: {len(shared)} of "
+          f"{design.cell_count}")
+    assert shared

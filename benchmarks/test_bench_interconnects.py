@@ -1,0 +1,105 @@
+"""Ablation A4 — interconnection patterns.
+
+Section V: "Different interconnection patterns may result in different
+classes of designs", and Section VI derives the cheaper design precisely by
+switching Δ.  This ablation synthesizes the DP system on four patterns and
+compares processor counts and feasibility:
+
+* figure-1 unidirectional (stay, +x, -y)        → the n²/2-ish triangle;
+* figure-2 extended (adds -x and the diagonal)  → the ~n²/4 staircase;
+* 4-neighbour mesh                              → feasible, triangle-sized;
+* a horizontal-only pattern (stay, ±x) — with no vertical movement the
+  three independent dependence directions of a chain module cannot all be
+  realised by a full-rank transformation: no design exists.
+
+(A fun negative result found while building this ablation: the pattern
+(stay, +x, +y) — figure 1 with the vertical axis flipped — *is* feasible;
+the solver finds the reflected triangle.  Axis orientation is a free choice,
+only the link *structure* matters.)
+"""
+
+import functools
+
+import pytest
+
+from repro.arrays import (
+    FIG1_UNIDIRECTIONAL,
+    FIG2_EXTENDED,
+    HEX_6,
+    Interconnect,
+    MESH_4,
+)
+from repro.core import synthesize
+from repro.problems import dp_system
+from repro.space import NoSpaceMapExists
+
+N = 10
+PARAMS = {"n": N}
+
+PATTERNS = {
+    "fig1": FIG1_UNIDIRECTIONAL,
+    "fig2": FIG2_EXTENDED,
+    "mesh4": MESH_4,
+    "hex6": HEX_6,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def design_on(name: str):
+    return synthesize(dp_system(), PARAMS, PATTERNS[name])
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_synthesis_per_pattern(benchmark, name):
+    design = benchmark.pedantic(
+        synthesize, args=(dp_system(), PARAMS, PATTERNS[name]),
+        rounds=1, iterations=1)
+    print(f"\n{name}: {design.cell_count} cells, "
+          f"completion {design.completion_time}, "
+          f"m1 map {design.space_maps['m1']}")
+    assert design.completion_time == 2 * N - 5
+
+
+def test_cell_count_ranking(benchmark):
+    counts = benchmark.pedantic(
+        lambda: {name: design_on(name).cell_count for name in PATTERNS},
+        rounds=1, iterations=1)
+    print(f"\ncells by interconnect: {counts}")
+    # Richer interconnects allow cheaper designs; fig2's diagonal is what
+    # unlocks the staircase.
+    assert counts["fig2"] <= counts["fig1"]
+    assert counts["fig2"] <= counts["mesh4"]
+    assert counts["hex6"] <= counts["mesh4"]
+
+
+def test_insufficient_pattern_fails(benchmark):
+    """With only horizontal movement, a 2-D label space cannot carry the
+    chain modules' three dependence directions under a full-rank [T; S]:
+    the solver must prove infeasibility, not mis-map."""
+    crippled = Interconnect("horizontal-only", ((0, 0), (1, 0), (-1, 0)))
+
+    def attempt():
+        try:
+            synthesize(dp_system(), {"n": 6}, crippled)
+            return False
+        except NoSpaceMapExists:
+            return True
+
+    infeasible = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    print("\nhorizontal-only pattern: correctly reported infeasible")
+    assert infeasible
+
+
+def test_reflected_fig1_is_feasible(benchmark):
+    """(stay, +x, +y) is figure 1 mirrored across the horizontal axis —
+    the solver finds the reflected triangle, demonstrating that only link
+    *structure* matters, not axis orientation."""
+    reflected = Interconnect("fig1-reflected", ((0, 0), (1, 0), (0, 1)))
+    design = benchmark.pedantic(
+        synthesize, args=(dp_system(), {"n": 8}, reflected),
+        rounds=1, iterations=1)
+    flows = design.flows()
+    # b' now moves up (+y) instead of down; everything else mirrors.
+    assert flows["m1"]["bp"].direction == (0, 1)
+    print(f"\nfig1-reflected: m1 map {design.space_maps['m1']} "
+          f"({design.cell_count} cells)")

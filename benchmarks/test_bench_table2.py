@@ -1,0 +1,82 @@
+"""Experiment T2 — Table 2: systolic designs from the forward convolution
+recurrence (5).
+
+Paper's claim: the forward recurrence yields **W1** (output and input move
+in opposite directions, weights stay) and **R2** (output stays; input and
+weights move in the same direction, input faster); design W2 is *not*
+reachable from (5).
+"""
+
+import functools
+
+import pytest
+
+from conftest import machine_run
+from repro.arrays import LINEAR_BIDIR
+from repro.core import explore_uniform
+from repro.problems import (
+    classify_design,
+    convolution_forward,
+    convolution_inputs,
+)
+from repro.reference import convolve
+from repro.report import design_table
+
+PARAMS = {"n": 16, "s": 4}
+
+
+@functools.lru_cache(maxsize=1)
+def named_designs():
+    designs = explore_uniform(convolution_forward(), PARAMS, LINEAR_BIDIR,
+                              time_bound=2)
+    named = {}
+    for d in designs:
+        label = classify_design(d.flows)
+        if label and label not in named:
+            named[label] = d
+    return named, tuple(designs)
+
+
+def test_table2_design_set(benchmark):
+    named, designs = benchmark(named_designs)
+    print("\n" + design_table(
+        sorted(named.items()),
+        "Table 2 (reproduced) — forward recurrence (5), "
+        f"n={PARAMS['n']}, s={PARAMS['s']}"))
+    assert {"W1", "R2"} <= set(named)
+    assert "W2" not in named
+
+
+def test_table2_w1_structure(benchmark):
+    named, _ = benchmark(named_designs)
+    w1 = named["W1"]
+    flows = w1.flows
+    assert flows["w"].stays
+    assert flows["y"].direction == tuple(-v for v in flows["x"].direction)
+    # Both recurrences share T(i,k) = 2i - k here.
+    sched = next(iter(w1.design.schedules.values()))
+    assert sched.coeffs == (2, -1)
+
+
+def test_table2_r2_structure(benchmark):
+    named, _ = benchmark(named_designs)
+    r2 = named["R2"]
+    flows = r2.flows
+    assert flows["y"].stays
+    assert flows["x"].direction == flows["w"].direction
+    assert flows["x"].speed > flows["w"].speed
+
+
+def test_table2_w1_machine(benchmark, rng):
+    system = convolution_forward()
+    named, _ = named_designs()
+    design = named["W1"].design
+    x = [rng.randint(-9, 9) for _ in range(PARAMS["n"])]
+    w = [rng.randint(-3, 3) for _ in range(PARAMS["s"])]
+    inputs = convolution_inputs(x, w)
+    result, _ = benchmark(machine_run, system, PARAMS, design, inputs)
+    got = [result.results[(i,)] for i in range(1, PARAMS["n"] + 1)]
+    assert got == convolve(x, w)
+    s = result.stats
+    print(f"\nW1 machine: {s.cycles} cycles, {s.cells_used} cells, "
+          f"util {s.utilization:.0%}")

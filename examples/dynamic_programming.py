@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Optimal parenthesization on the paper's new design (Section VI).
+
+The full non-uniform pipeline, starting from the high-level recurrence (8):
+
+1. non-constant dependence analysis → constant subset D^c;
+2. coarse timing function  T(i,j) = j - i;
+3. chain decomposition of the reduction range at k = (i+j)/2;
+4. restructuring into the two-chain system of mutually dependent
+   recurrences (modules m1, m2 + the combine statement A5);
+5. joint time mapping   λ = -i+2j-k,  μ = -2i+j+k,  σ = -2i+2j;
+6. joint space mapping on the extended interconnect of figure 2:
+   S' = (k, i),  S'' = (i+j-k, i),  combine at (i+1, i) — 3 to 4 times
+   fewer processors than the Guibas–Kung–Thompson triangle;
+7. execution on the systolic machine: the optimal matrix-chain
+   parenthesisation drops out of the array.
+
+Run:  python examples/dynamic_programming.py
+"""
+
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED
+from repro.chains import greedy_chains, symbolic_chains
+from repro.chains.order import AvailabilityOrder
+from repro.core import coarse_timing, restructure, synthesize, verify_design
+from repro.problems import (
+    paren_body,
+    paren_combine,
+    parenthesization_inputs,
+)
+from repro.problems.dynamic_programming import dp_spec
+from repro.reference import optimal_parenthesization
+from repro.report import module_table, render_array
+
+DIMS = (30, 35, 15, 5, 10, 20, 25)   # the classic CLRS chain
+
+
+def main() -> None:
+    n = len(DIMS)
+    spec = dp_spec(paren_body(), paren_combine())
+    params = {"n": n}
+
+    print("== 1-2. coarse timing from the constant dependence subset ==")
+    ct = coarse_timing(spec, params)
+    print(f"   D^c = {sorted(ct.constant_deps.vector_set())}")
+    print(f"   coarse T(i,j) = {ct.schedule.as_expr()}")
+
+    print("\n== 3. chain decomposition ==")
+    for cs in symbolic_chains(spec, ct.schedule):
+        print(f"   {cs.name}: k {cs.order} from {cs.first} to {cs.last}")
+    order = AvailabilityOrder(spec, ct.schedule, (1, n))
+    print(f"   concrete chains at (1, {n}): "
+          f"{[c.ks for c in greedy_chains(order)]}")
+
+    print("\n== 4. restructured system ==")
+    system = restructure(spec, ct)
+    for name, module in system.modules.items():
+        print(f"   module {name}: dims {module.dims}, "
+              f"vars {list(module.equations)}")
+
+    print("\n== 5-6. synthesis on both interconnects ==")
+    inputs = parenthesization_inputs(DIMS)
+    for ic in (FIG1_UNIDIRECTIONAL, FIG2_EXTENDED):
+        design = synthesize(system, params, ic)
+        report = verify_design(design, inputs)
+        assert report.ok, report.failures
+        print(f"\n-- {ic.name} --")
+        print(module_table(design))
+        print(render_array(design))
+
+    print("\n== 7. the answer, straight off the array ==")
+    design = synthesize(system, params, FIG2_EXTENDED)
+    from repro.ir import trace_execution
+    from repro.machine import compile_design, run
+
+    trace = trace_execution(system, params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        FIG2_EXTENDED.decomposer())
+    machine = run(mc, trace, inputs)
+    _, _, cost, tree = machine.results[(1, n)]
+    ref_cost, ref_tree = optimal_parenthesization(DIMS)
+    print(f"   machine : cost {cost}, parenthesisation {tree}")
+    print(f"   reference: cost {ref_cost}, parenthesisation {ref_tree}")
+    assert (cost, tree) == (ref_cost, ref_tree)
+
+
+if __name__ == "__main__":
+    main()

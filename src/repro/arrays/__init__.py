@@ -1,0 +1,32 @@
+"""VLSI array models: interconnection patterns (Δ matrices), occupied
+regions/cell counts, and data-flow classification of mapped variables."""
+
+from repro.arrays.dataflow import Flow, all_flows, classify_pair, variable_flows
+from repro.arrays.interconnect import (
+    FIG1_UNIDIRECTIONAL,
+    FIG2_EXTENDED,
+    HEX_6,
+    LINEAR_BIDIR,
+    LINEAR_UNI,
+    MESH_4,
+    STOCK_INTERCONNECTS,
+    Interconnect,
+)
+from repro.arrays.model import ArrayRegion, VLSIArray
+
+__all__ = [
+    "ArrayRegion",
+    "FIG1_UNIDIRECTIONAL",
+    "FIG2_EXTENDED",
+    "Flow",
+    "HEX_6",
+    "Interconnect",
+    "LINEAR_BIDIR",
+    "LINEAR_UNI",
+    "MESH_4",
+    "STOCK_INTERCONNECTS",
+    "VLSIArray",
+    "all_flows",
+    "classify_pair",
+    "variable_flows",
+]

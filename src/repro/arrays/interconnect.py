@@ -1,0 +1,93 @@
+"""Interconnection patterns: the matrix Δ of a VLSI array.
+
+"The connection pattern of the array is described by the matrix
+Δ = [δ_1, δ_2, ..., δ_s] which specifies the links among the processors.
+Precisely, δ_i is the difference vector of the integer labels of adjacent
+cells in the network."  A zero column denotes the *stay* register (a value
+may remain in its cell for a cycle) — the paper's designs all assume it.
+
+This module provides the specific patterns of the paper (figures 1 and 2)
+and common stock topologies for exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.space.diophantine import LinkDecomposer
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A named interconnection pattern."""
+
+    name: str
+    columns: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        cols = tuple(tuple(int(v) for v in c) for c in self.columns)
+        object.__setattr__(self, "columns", cols)
+        if not cols:
+            raise ValueError("interconnect needs at least one column")
+        dims = {len(c) for c in cols}
+        if len(dims) != 1:
+            raise ValueError("mixed link dimensions")
+
+    @property
+    def label_dim(self) -> int:
+        return len(self.columns[0])
+
+    @property
+    def has_stay(self) -> bool:
+        return any(all(v == 0 for v in c) for c in self.columns)
+
+    def matrix(self) -> np.ndarray:
+        """Δ as an integer matrix (label_dim x #links)."""
+        return np.array(self.columns, dtype=np.int64).T
+
+    def decomposer(self) -> LinkDecomposer:
+        return LinkDecomposer(self.matrix())
+
+    def moves(self) -> tuple[tuple[int, ...], ...]:
+        """Non-zero link vectors."""
+        return tuple(c for c in self.columns if any(v != 0 for v in c))
+
+    def __repr__(self) -> str:
+        return f"Interconnect({self.name}, Δ={list(self.columns)})"
+
+
+# -- 1-D arrays (convolution designs of Section II) ---------------------------
+
+LINEAR_UNI = Interconnect("linear-unidirectional", ((0,), (1,)))
+"""Stay + rightward link only."""
+
+LINEAR_BIDIR = Interconnect("linear-bidirectional", ((0,), (1,), (-1,)))
+"""Stay + both directions — hosts W1, W2, R2 and friends."""
+
+
+# -- 2-D arrays (dynamic programming, Sections V and VI) ----------------------
+
+FIG1_UNIDIRECTIONAL = Interconnect(
+    "fig1-unidirectional", ((0, 0), (1, 0), (0, -1)))
+"""The paper's figure-1 network: stay, +x, -y; unidirectional links."""
+
+FIG2_EXTENDED = Interconnect(
+    "fig2-extended", ((0, 0), (1, 0), (0, -1), (-1, 0), (-1, -1)))
+"""The paper's figure-2 network: bidirectional horizontal links plus the
+vertical and diagonal links (stay, +x, -y, -x, -x-y)."""
+
+MESH_4 = Interconnect(
+    "mesh-4", ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)))
+"""Standard 4-neighbour mesh with stay, for exploration."""
+
+HEX_6 = Interconnect(
+    "hex-6", ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1)))
+"""Hexagonal pattern (mesh + one diagonal pair), for exploration."""
+
+STOCK_INTERCONNECTS: dict[str, Interconnect] = {
+    ic.name: ic
+    for ic in (LINEAR_UNI, LINEAR_BIDIR, FIG1_UNIDIRECTIONAL,
+               FIG2_EXTENDED, MESH_4, HEX_6)
+}

@@ -1,0 +1,87 @@
+"""Physical array model: the set of cells a mapped design occupies.
+
+The paper's quality metric for Section VI is processor count (``3/8 n^2`` vs
+``n^2 / 2``); this module computes exact cell regions, bounding boxes and
+counts for mapped modules, and checks that every link a design uses actually
+exists in the interconnection pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.arrays.interconnect import Interconnect
+
+
+@dataclass
+class ArrayRegion:
+    """A finite set of cell labels with geometry helpers."""
+
+    cells: frozenset[tuple[int, ...]]
+
+    @staticmethod
+    def of(cells: Iterable[Sequence[int]]) -> "ArrayRegion":
+        return ArrayRegion(frozenset(tuple(int(v) for v in c) for c in cells))
+
+    @property
+    def count(self) -> int:
+        return len(self.cells)
+
+    @property
+    def label_dim(self) -> int:
+        if not self.cells:
+            raise ValueError("empty region has no dimension")
+        return len(next(iter(self.cells)))
+
+    def bounding_box(self) -> tuple[tuple[int, int], ...]:
+        """Per-coordinate (min, max)."""
+        if not self.cells:
+            raise ValueError("empty region")
+        arr = np.array(sorted(self.cells), dtype=np.int64)
+        return tuple((int(arr[:, k].min()), int(arr[:, k].max()))
+                     for k in range(arr.shape[1]))
+
+    def union(self, other: "ArrayRegion") -> "ArrayRegion":
+        return ArrayRegion(self.cells | other.cells)
+
+    def __contains__(self, cell) -> bool:
+        return tuple(int(v) for v in cell) in self.cells
+
+    def __repr__(self) -> str:
+        return f"ArrayRegion({self.count} cells)"
+
+
+@dataclass
+class VLSIArray:
+    """A concrete array: an interconnect plus the occupied region.
+
+    ``neighbours(cell)`` lists the cells reachable over one link — only those
+    inside the region (boundary cells simply have fewer live links, as in the
+    paper's triangular arrays).
+    """
+
+    interconnect: Interconnect
+    region: ArrayRegion
+
+    def neighbours(self, cell: Sequence[int]) -> list[tuple[int, ...]]:
+        c = tuple(int(v) for v in cell)
+        out = []
+        for mv in self.interconnect.moves():
+            q = tuple(a + b for a, b in zip(c, mv))
+            if q in self.region:
+                out.append(q)
+        return out
+
+    def link_exists(self, src: Sequence[int], dst: Sequence[int]) -> bool:
+        """Is ``dst - src`` a single link of the pattern (or zero = stay)?"""
+        diff = tuple(int(b) - int(a) for a, b in zip(src, dst))
+        if all(v == 0 for v in diff):
+            return self.interconnect.has_stay
+        return diff in self.interconnect.moves()
+
+    @property
+    def cell_count(self) -> int:
+        return self.region.count

@@ -1,0 +1,24 @@
+"""Chain machinery: the availability preorder >_T, the paper's greedy chain
+decomposition, the symbolic (closed-form) split, and a Dilworth-minimal
+baseline."""
+
+from repro.chains.decompose import (
+    Chain,
+    ChainDecompositionError,
+    ChainSpec,
+    greedy_chains,
+    symbolic_chains,
+)
+from repro.chains.dilworth import minimum_chain_decomposition, width
+from repro.chains.order import AvailabilityOrder
+
+__all__ = [
+    "AvailabilityOrder",
+    "Chain",
+    "ChainDecompositionError",
+    "ChainSpec",
+    "greedy_chains",
+    "minimum_chain_decomposition",
+    "symbolic_chains",
+    "width",
+]

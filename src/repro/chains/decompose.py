@@ -1,0 +1,186 @@
+"""Chain decomposition of the reduction range (Section III).
+
+"We are interested ... in finding a chain decomposition of >_T such that the
+computations in a chain are also sorted (either in increasing or decreasing
+order) according to the index i_n."
+
+Two decomposers are provided:
+
+* :func:`greedy_chains` — the paper's constructive method: repeatedly peel
+  minimal elements, appending each to the first chain that keeps both the
+  strict availability order and monotonicity in ``i_n``;
+* :func:`symbolic_chains` — the closed-form version used by the restructurer:
+  for specs whose per-argument availabilities are affine in ``i_n`` with
+  mixed slopes, the split point is the crossing of the two envelopes — for
+  dynamic programming ``k* = (i+j)/2`` — yielding a descending chain
+  ``floor(k*) .. lo`` and an ascending chain ``floor(k*)+1 .. hi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Literal
+
+from repro.chains.order import AvailabilityOrder
+from repro.ir.affine import AffineExpr, QuasiAffineExpr
+from repro.ir.program import HighLevelSpec
+from repro.schedule.linear import LinearSchedule
+
+
+@dataclass
+class Chain:
+    """A concrete chain: ``k`` values in execution order."""
+
+    ks: list[int]
+
+    @property
+    def direction(self) -> Literal["asc", "desc", "single", "empty"]:
+        if not self.ks:
+            return "empty"
+        if len(self.ks) == 1:
+            return "single"
+        return "asc" if self.ks[1] > self.ks[0] else "desc"
+
+    def __len__(self) -> int:
+        return len(self.ks)
+
+    def __iter__(self):
+        return iter(self.ks)
+
+
+def greedy_chains(order: AvailabilityOrder) -> list[Chain]:
+    """The paper's peeling construction, made deterministic.
+
+    Process computations by increasing availability (ties: smaller ``k``
+    first); append each to the first existing chain it extends — strictly
+    later availability than the chain's tail and consistent ``k`` direction —
+    else open a new chain.
+    """
+    chains: list[Chain] = []
+    tails: list[tuple[int, int]] = []  # (availability, k) of each chain's tail
+    for avail, k in order.sorted_by_availability():
+        placed = False
+        for idx, chain in enumerate(chains):
+            tail_avail, tail_k = tails[idx]
+            if avail <= tail_avail:
+                continue
+            direction = chain.direction
+            if direction in ("single",):
+                chain.ks.append(k)
+                tails[idx] = (avail, k)
+                placed = True
+                break
+            if direction == "asc" and k > tail_k:
+                chain.ks.append(k)
+                tails[idx] = (avail, k)
+                placed = True
+                break
+            if direction == "desc" and k < tail_k:
+                chain.ks.append(k)
+                tails[idx] = (avail, k)
+                placed = True
+                break
+        if not placed:
+            chains.append(Chain([k]))
+            tails.append((avail, k))
+    return chains
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """A symbolic chain: the ``k`` traversal of one recurrence module.
+
+    ``first``/``last`` are (quasi-)affine in the outer indices; ``order`` is
+    the traversal direction ("desc" runs ``first`` down to ``last``).
+    """
+
+    name: str
+    order: Literal["asc", "desc"]
+    first: AffineExpr | QuasiAffineExpr
+    last: AffineExpr
+
+    def concrete(self, binding) -> list[int]:
+        f = self.first.evaluate_int(binding) if isinstance(
+            self.first, QuasiAffineExpr) else self.first.evaluate_int(binding)
+        l = self.last.evaluate_int(binding)
+        if self.order == "desc":
+            return list(range(f, l - 1, -1))
+        return list(range(f, l + 1))
+
+
+class ChainDecompositionError(Exception):
+    """The spec's availability structure is not supported symbolically."""
+
+
+def _argument_slope(spec: HighLevelSpec, coarse: LinearSchedule,
+                    arg_index: int) -> tuple[Fraction, AffineExpr]:
+    """Availability of argument ``j`` as an affine function of ``k``:
+    returns (slope, value-at-k=0 as an expression in the outer dims)."""
+    arg = spec.args[arg_index]
+    t = arg.replaced_coord
+    coeffs = dict(zip(coarse.dims, coarse.coeffs))
+    slope = Fraction(coeffs[spec.dims[t]])
+    base = AffineExpr.const(coarse.offset)
+    for pos, dim in enumerate(spec.dims):
+        if pos == t:
+            continue
+        base = base + (AffineExpr.var(dim) - arg.offsets[pos]) * coeffs[dim]
+    return slope, base
+
+
+def symbolic_chains(spec: HighLevelSpec,
+                    coarse: LinearSchedule) -> list[ChainSpec]:
+    """Closed-form chain decomposition from the coarse timing function.
+
+    * All argument availabilities share the sign of their ``k`` slope →
+      a single chain (ascending for negative slopes: larger ``k`` available
+      earlier; descending for positive).
+    * One positive- and one negative-slope argument (the dynamic-programming
+      shape) → two chains split where the envelopes cross.
+    """
+    slopes = [
+        _argument_slope(spec, coarse, j) for j in range(len(spec.args))]
+    positive = [(s, b) for s, b in slopes if s > 0]
+    negative = [(s, b) for s, b in slopes if s < 0]
+    flat = [(s, b) for s, b in slopes if s == 0]
+    if flat and (positive or negative):
+        raise ChainDecompositionError(
+            "mixed flat and sloped availabilities are not supported")
+    if not positive and not negative:
+        # Availability independent of k: any order works; use ascending.
+        return [ChainSpec("chain0", "asc", spec.k_lower, spec.k_upper)]
+    if not negative:
+        # All availabilities grow with k: smallest k first.
+        return [ChainSpec("chain0", "asc", spec.k_lower, spec.k_upper)]
+    if not positive:
+        # All availabilities shrink with k: largest k first.
+        return [ChainSpec("chain0", "desc", spec.k_upper, spec.k_lower)]
+    if len(positive) != 1 or len(negative) != 1:
+        raise ChainDecompositionError(
+            "more than two crossing availability envelopes; use greedy_chains")
+    (s_up, b_up), (s_down, b_down) = positive[0], negative[0]
+    # Crossing of  s_up * k + b_up  and  s_down * k + b_down :
+    #   k* = (b_down - b_up) / (s_up - s_down).
+    denom = s_up - s_down
+    numer = b_down - b_up
+    # k* as a quasi-affine floor; scale to integer coefficients.
+    scale = denom.denominator
+    for c in numer.coeffs.values():
+        scale = scale * c.denominator // __import__("math").gcd(
+            scale, c.denominator)
+    scaled_numer = numer * (denom * scale)
+    # floor(numer/denom) = floor(scaled_numer / (denom^2 * scale)) — keep it
+    # simple: both DP-style inputs give integer-coefficient numer and denom.
+    if denom.denominator != 1 or not numer.is_integer_form():
+        raise ChainDecompositionError(
+            "non-integral envelope crossing; use greedy_chains")
+    split = numer.floordiv(int(denom))
+    # Descending chain: k = floor(k*) down to k_lower (the positive-slope
+    # argument makes *small* k available late, so start at the valley).
+    descending = ChainSpec("chain0", "desc", split, spec.k_lower)
+    # Ascending chain: k = floor(k*) + 1 up to k_upper.
+    split_plus = QuasiAffineExpr(split.numerator + split.divisor,
+                                 split.divisor)
+    ascending = ChainSpec("chain1", "asc", split_plus, spec.k_upper)
+    return [descending, ascending]

@@ -1,0 +1,60 @@
+"""The operand-availability preorder ``>_T`` of Section III.
+
+Given the coarse timing function ``T : I^s -> Z`` and a point ``i^s``, the
+computations ``(i^s, i_n)`` for the reduction values ``i_n`` are compared by
+when their operands become available::
+
+    (i^s, k') >_T (i^s, k'')  <=>
+        max_j T(i^s - d_j(k')) > max_j T(i^s - d_j(k''))
+
+Ties (equal availability) are incomparable — that is what forces several
+chains and, ultimately, the non-uniform design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.ir.program import HighLevelSpec
+from repro.schedule.linear import LinearSchedule
+
+
+@dataclass(frozen=True)
+class AvailabilityOrder:
+    """``>_T`` restricted to one domain point's reduction range."""
+
+    spec: HighLevelSpec
+    coarse: LinearSchedule
+    point: tuple[int, ...]
+
+    def availability(self, k: int) -> int:
+        """``max_j T(operand_j(point, k))`` — when the last operand of the
+        computation ``(point, k)`` is ready under the coarse timing."""
+        return max(
+            self.coarse.time(arg.operand_point(self.point, k))
+            for arg in self.spec.args)
+
+    def k_values(self) -> list[int]:
+        binding = dict(zip(self.spec.dims, self.point))
+        return list(self.spec.k_range(binding))
+
+    def greater(self, k1: int, k2: int) -> bool:
+        """``(point, k1) >_T (point, k2)``."""
+        return self.availability(k1) > self.availability(k2)
+
+    def comparable(self, k1: int, k2: int) -> bool:
+        return self.availability(k1) != self.availability(k2)
+
+    def minimal_elements(self, among: Sequence[int] | None = None) -> list[int]:
+        """The ``k`` values of minimal availability (the paper derives the
+        chain split by repeatedly peeling these)."""
+        ks = list(among) if among is not None else self.k_values()
+        if not ks:
+            return []
+        best = min(self.availability(k) for k in ks)
+        return [k for k in ks if self.availability(k) == best]
+
+    def sorted_by_availability(self) -> list[tuple[int, int]]:
+        """(availability, k) pairs sorted by availability then k."""
+        return sorted((self.availability(k), k) for k in self.k_values())

@@ -1,0 +1,186 @@
+"""Command-line interface: synthesize and inspect designs without code.
+
+Examples::
+
+    python -m repro synthesize --problem dp --interconnect fig2 --n 8
+    python -m repro synthesize --problem conv-backward --n 12 --s 4 --verify
+    python -m repro explore --recurrence forward --n 12 --s 4
+    python -m repro figures --n 8
+    python -m repro cell --n 8 --x 3 --y 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.arrays import STOCK_INTERCONNECTS
+from repro.core import explore_uniform, synthesize, verify_design
+from repro.problems import (
+    classify_design,
+    convolution_backward,
+    convolution_forward,
+    convolution_inputs,
+    dp_inputs,
+    dp_system,
+    matmul_inputs,
+    matmul_system,
+)
+from repro.report import (
+    design_table,
+    module_table,
+    render_array,
+    render_cell_actions,
+)
+
+INTERCONNECT_ALIASES = {
+    "fig1": "fig1-unidirectional",
+    "fig2": "fig2-extended",
+    "linear": "linear-bidirectional",
+    "mesh": "mesh-4",
+    "hex": "hex-6",
+}
+
+PROBLEMS = {
+    "dp": (dp_system, ("n",)),
+    "conv-backward": (convolution_backward, ("n", "s")),
+    "conv-forward": (convolution_forward, ("n", "s")),
+    "matmul": (matmul_system, ("n",)),
+}
+
+
+def _interconnect(name: str):
+    resolved = INTERCONNECT_ALIASES.get(name, name)
+    if resolved not in STOCK_INTERCONNECTS:
+        raise SystemExit(
+            f"unknown interconnect {name!r}; choose from "
+            f"{sorted(INTERCONNECT_ALIASES) + sorted(STOCK_INTERCONNECTS)}")
+    return STOCK_INTERCONNECTS[resolved]
+
+
+def _random_inputs(problem: str, params, seed: int = 0):
+    rng = random.Random(seed)
+    if problem == "dp":
+        return dp_inputs([rng.randint(1, 9)
+                          for _ in range(params["n"] - 1)])
+    if problem.startswith("conv"):
+        x = [rng.randint(-9, 9) for _ in range(params["n"])]
+        w = [rng.randint(-3, 3) for _ in range(params["s"])]
+        return convolution_inputs(x, w)
+    if problem == "matmul":
+        n = params["n"]
+        import numpy as np
+
+        A = np.array([[rng.randint(-5, 5) for _ in range(n)]
+                      for _ in range(n)])
+        B = np.array([[rng.randint(-5, 5) for _ in range(n)]
+                      for _ in range(n)])
+        return matmul_inputs(A, B)
+    raise SystemExit(f"no random inputs for {problem!r}")
+
+
+def cmd_synthesize(args) -> int:
+    builder, needed = PROBLEMS[args.problem]
+    params = {"n": args.n}
+    if "s" in needed:
+        params["s"] = args.s
+    system = builder()
+    design = synthesize(system, params, _interconnect(args.interconnect))
+    print(module_table(design, f"{args.problem} on {args.interconnect} "
+                               f"({params})"))
+    print()
+    print(render_array(design))
+    if args.verify:
+        report = verify_design(design, _random_inputs(args.problem, params))
+        print(f"\nverification: {report}")
+        if report.machine_stats:
+            s = report.machine_stats
+            print(f"machine: {s.cycles} cycles, {s.cells_used} cells, "
+                  f"{s.operations} ops, utilization {s.utilization:.0%}")
+        return 0 if report.ok else 1
+    return 0
+
+
+def cmd_explore(args) -> int:
+    builder = (convolution_backward if args.recurrence == "backward"
+               else convolution_forward)
+    params = {"n": args.n, "s": args.s}
+    designs = explore_uniform(builder(), params,
+                              _interconnect(args.interconnect),
+                              time_bound=args.time_bound)
+    named = {}
+    for d in designs:
+        label = classify_design(d.flows)
+        if label and label not in named:
+            named[label] = d
+    print(design_table(
+        sorted(named.items()),
+        f"designs from the {args.recurrence} recurrence ({params})"))
+    print(f"\n{len(designs)} designs explored; named: {sorted(named)}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    params = {"n": args.n}
+    for alias in ("fig1", "fig2"):
+        design = synthesize(dp_system(), params, _interconnect(alias))
+        print(f"== {alias} (n={args.n}): {design.cell_count} cells, "
+              f"completion {design.completion_time} ==")
+        print(render_array(design))
+        print()
+    return 0
+
+
+def cmd_cell(args) -> int:
+    design = synthesize(dp_system(), {"n": args.n},
+                        _interconnect(args.interconnect))
+    print(render_cell_actions(design, (args.x, args.y)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesize non-uniform systolic designs "
+                    "(Guerra & Melhem, 1986)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="synthesize one design")
+    p.add_argument("--problem", choices=sorted(PROBLEMS), default="dp")
+    p.add_argument("--interconnect", default="fig1")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--s", type=int, default=4)
+    p.add_argument("--verify", action="store_true",
+                   help="run the design on the systolic machine")
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("explore", help="enumerate convolution designs")
+    p.add_argument("--recurrence", choices=["backward", "forward"],
+                   default="backward")
+    p.add_argument("--interconnect", default="linear")
+    p.add_argument("--n", type=int, default=12)
+    p.add_argument("--s", type=int, default=4)
+    p.add_argument("--time-bound", type=int, default=2)
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("figures", help="print both DP arrays")
+    p.add_argument("--n", type=int, default=8)
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("cell", help="one cell's action timetable")
+    p.add_argument("--interconnect", default="fig2")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--x", type=int, required=True)
+    p.add_argument("--y", type=int, required=True)
+    p.set_defaults(fn=cmd_cell)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's contribution: the two-step refinement procedure (coarse
+timing + chain-based restructuring) and the multi-module time/space mapping
+pipeline, packaged as designs with verification and exploration."""
+
+from repro.core.coarse import CoarseTiming, coarse_timing
+from repro.core.design import Design
+from repro.core.explore import (
+    ExploredDesign,
+    explore_interconnects,
+    explore_uniform,
+    pareto_front,
+)
+from repro.core.globals import link_constraints
+from repro.core.nonuniform import synthesize
+from repro.core.restructure import RestructureError, restructure
+from repro.core.uniform import synthesize_uniform
+from repro.core.verify import VerificationReport, verify_design
+
+__all__ = [
+    "CoarseTiming",
+    "Design",
+    "ExploredDesign",
+    "RestructureError",
+    "VerificationReport",
+    "coarse_timing",
+    "explore_interconnects",
+    "explore_uniform",
+    "link_constraints",
+    "pareto_front",
+    "restructure",
+    "synthesize",
+    "synthesize_uniform",
+    "verify_design",
+]

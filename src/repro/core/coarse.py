@@ -1,0 +1,49 @@
+"""Step 1 of the Section III procedure: the coarse timing function.
+
+From the high-level spec's non-constant dependencies we keep only the
+constant subset ``D^c`` (intersection of the expanded per-point sets) and
+solve condition (7) for an optimal linear ``T : I^s -> Z``.  ``T`` is a lower
+bound for any actual timing function and — crucially — depends only on the
+problem's *implicit* dependencies, before any execution order is chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.deps.nonconstant import constant_dependence_set
+from repro.deps.vectors import DependenceMatrix
+from repro.ir.program import HighLevelSpec
+from repro.schedule.linear import LinearSchedule
+from repro.schedule.solver import ScheduleSolution, optimal_schedule
+
+
+@dataclass(frozen=True)
+class CoarseTiming:
+    """The derived coarse schedule plus the evidence it came from."""
+
+    spec: HighLevelSpec
+    constant_deps: DependenceMatrix
+    solution: ScheduleSolution
+
+    @property
+    def schedule(self) -> LinearSchedule:
+        return self.solution.schedule
+
+
+def coarse_timing(spec: HighLevelSpec, params: Mapping[str, int],
+                  bound: int = 3) -> CoarseTiming:
+    """Derive the coarse timing function of a high-level spec.
+
+    ``params`` supplies concrete sizes for the makespan objective (the
+    winning coefficient vector is size-independent for the paper's systems;
+    tests check stability across sizes).
+    """
+    deps = constant_dependence_set(spec, params)
+    if len(deps) == 0:
+        raise ValueError(
+            f"spec {spec.name}: the constant dependence set D^c is empty; "
+            f"the two-step procedure does not apply")
+    solution = optimal_schedule(deps, spec.domain, params, bound=bound)
+    return CoarseTiming(spec, deps, solution)

@@ -1,0 +1,132 @@
+"""Design-space exploration (the paper's Section I motivation: "the
+possibility of automatically generating a number of viable algorithms ...
+enables the selection of an optimal algorithm among a wider set of
+candidates").
+
+For a single-module system, enumerate every valid (T, S) pair within
+coefficient bounds, package each as an :class:`ExploredDesign` with its
+completion time, processor count and per-variable flows, and rank by the
+chosen criterion.  The convolution benchmarks use this to regenerate
+Tables 1 and 2: which named designs (W1/W2/R2) arise from which recurrence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.arrays.dataflow import Flow, variable_flows
+from repro.arrays.interconnect import Interconnect
+from repro.core.design import Design
+from repro.deps.extract import module_dependence_matrix
+from repro.ir.program import RecurrenceSystem
+from repro.schedule.linear import LinearSchedule
+from repro.schedule.solver import valid_coefficient_vectors
+from repro.space.allocation import cells_used, enumerate_space_maps
+from repro.space.diophantine import LinkDecomposer
+
+
+@dataclass(frozen=True)
+class ExploredDesign:
+    """One point of the design space."""
+
+    design: Design
+    makespan: int
+    cells: int
+    flows: dict[str, Flow]
+
+    def signature(self) -> tuple:
+        """Hashable movement signature: (variable, direction, speed)."""
+        return tuple(sorted(
+            (var, f.direction, f.speed) for var, f in self.flows.items()))
+
+
+def explore_uniform(system: RecurrenceSystem, params: Mapping[str, int],
+                    interconnect: Interconnect,
+                    time_bound: int = 2, space_bound: int = 1
+                    ) -> list[ExploredDesign]:
+    """Enumerate all designs of a single-module system, sorted by
+    (completion time, #cells, movement signature)."""
+    if len(system.modules) != 1:
+        raise ValueError("explore_uniform handles single-module systems")
+    (name, module), = system.modules.items()
+    deps = module_dependence_matrix(module)
+    pts = np.array(list(module.domain.points(params)), dtype=np.int64)
+    decomposer = interconnect.decomposer()
+
+    results: list[ExploredDesign] = []
+    seen: set[tuple] = set()
+    for coeffs in valid_coefficient_vectors(deps, len(module.dims),
+                                            time_bound):
+        schedule = LinearSchedule(module.dims, coeffs)
+        times = schedule.times(pts)
+        makespan = int(times.max() - times.min())
+        for smap in enumerate_space_maps(
+                module.dims, interconnect.label_dim, deps, schedule,
+                decomposer, pts, bound=space_bound):
+            design = Design(system=system, params=dict(params),
+                            interconnect=interconnect,
+                            schedules={name: schedule},
+                            space_maps={name: smap})
+            flows = variable_flows(deps, schedule, smap)
+            explored = ExploredDesign(
+                design=design, makespan=makespan,
+                cells=len(cells_used(smap, pts)), flows=flows)
+            key = (coeffs, explored.signature())
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(explored)
+    results.sort(key=lambda e: (e.makespan, e.cells, e.signature()))
+    return results
+
+
+def explore_interconnects(system: RecurrenceSystem,
+                          params: Mapping[str, int],
+                          interconnects: Sequence[Interconnect],
+                          **synthesize_kwargs
+                          ) -> list[tuple[Interconnect, "Design | None"]]:
+    """Synthesize one design per interconnection pattern (Section V:
+    "different interconnection patterns may result in different classes of
+    designs"); infeasible patterns yield ``None``.
+
+    Results are sorted by processor count (feasible first), the paper's
+    Section VI criterion.
+    """
+    from repro.core.nonuniform import synthesize
+    from repro.schedule.solver import NoScheduleExists
+    from repro.space.multimodule import NoSpaceMapExists
+
+    results: list[tuple[Interconnect, Design | None]] = []
+    for ic in interconnects:
+        try:
+            design = synthesize(system, params, ic, **synthesize_kwargs)
+        except (NoScheduleExists, NoSpaceMapExists):
+            design = None
+        results.append((ic, design))
+    results.sort(key=lambda pair: (pair[1] is None,
+                                   pair[1].cell_count if pair[1] else 0,
+                                   pair[0].name))
+    return results
+
+
+def pareto_front(designs: list[ExploredDesign]) -> list[ExploredDesign]:
+    """Designs not dominated in (makespan, cells) — the paper's T/P
+    optimality trade-off."""
+    front: list[ExploredDesign] = []
+    for d in designs:
+        if not any(o.makespan <= d.makespan and o.cells <= d.cells
+                   and (o.makespan, o.cells) != (d.makespan, d.cells)
+                   for o in designs):
+            front.append(d)
+    unique: list[ExploredDesign] = []
+    seen: set[tuple[int, int]] = set()
+    for d in front:
+        tag = (d.makespan, d.cells)
+        if tag not in seen:
+            seen.add(tag)
+            unique.append(d)
+    return unique

@@ -1,0 +1,133 @@
+"""End-to-end mapping of a (possibly multi-module) recurrence system onto a
+VLSI array — Sections II.B and V of the paper in one call.
+
+The pipeline:
+
+1. extract per-module constant dependence matrices (D, or D_1/D_2);
+2. enumerate the global constraints from the link statements (A1–A5);
+3. jointly solve for linear time functions (λ, μ, σ) — optimal makespan;
+4. jointly solve for space maps (S', S'', S) subject to flow realisability,
+   full-rank conflict-freedom and the adjacency constraints (10) — minimal
+   processor count;
+5. package everything as a :class:`~repro.core.design.Design`.
+
+Escalation: if no solution exists with homogeneous schedules / zero space
+offsets, the solvers retry with offsets — "the design procedure is repeated"
+(Section II.B), automated.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.arrays.interconnect import Interconnect
+from repro.core.design import Design
+from repro.core.globals import link_constraints
+from repro.deps.extract import system_dependence_matrices
+from repro.ir.program import RecurrenceSystem
+from repro.schedule.multimodule import (
+    ModuleSchedulingProblem,
+    normalise_start,
+    solve_multimodule,
+)
+from repro.schedule.solver import NoScheduleExists
+from repro.space.multimodule import (
+    ModuleSpaceProblem,
+    NoSpaceMapExists,
+    solve_multimodule_space,
+)
+
+
+def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
+               interconnect: Interconnect,
+               time_bound: int = 3,
+               space_bound: int = 1,
+               schedule_offsets: Sequence[int] = (0,),
+               space_offsets: Sequence[int] | None = None) -> Design:
+    """Synthesize a design for ``system`` on ``interconnect``.
+
+    ``space_offsets=None`` tries translation-free space maps first and
+    escalates to offsets in ``[-1, 1]`` only if needed.
+    """
+    params = dict(params)
+    deps = system_dependence_matrices(system)
+    constraints = link_constraints(system, params)
+
+    points = {}
+    problems = []
+    for name, module in system.modules.items():
+        pts = list(module.domain.points(params))
+        arr = np.array(pts, dtype=np.int64).reshape(len(pts), len(module.dims))
+        points[name] = arr
+        problems.append(ModuleSchedulingProblem(name, module.dims,
+                                                deps[name], arr))
+
+    try:
+        time_solution = solve_multimodule(problems, constraints,
+                                          bound=time_bound,
+                                          offsets=schedule_offsets)
+    except NoScheduleExists:
+        if tuple(schedule_offsets) == (0,):
+            time_solution = solve_multimodule(problems, constraints,
+                                              bound=time_bound,
+                                              offsets=range(-time_bound,
+                                                            time_bound + 1))
+        else:
+            raise
+    schedules = normalise_start(time_solution.schedules, problems, start=0)
+
+    decomposer = interconnect.decomposer()
+
+    def offsets_for(name: str, plan: str) -> Sequence[int]:
+        if space_offsets is not None:
+            return space_offsets
+        if plan == "plain":
+            return (0,)
+        # "translated" plan: allow small offsets for low-dimensional modules
+        # (combine statements) where a translation can fold their cells onto
+        # another module's region — the Section VI design maps A5 to
+        # cell (i+1, i).  High-dimensional modules keep offset 0: a common
+        # translation never reduces their own cell count.
+        module = system.modules[name]
+        if len(module.dims) <= interconnect.label_dim:
+            return (-1, 0, 1)
+        return (0,)
+
+    plans = ["plain"] if space_offsets is not None else ["plain", "translated"]
+    best = None
+    last_error: Exception | None = None
+    for plan in plans:
+        space_problems = [
+            ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
+                               points[name], schedules[name],
+                               bound=space_bound, offsets=offsets_for(name, plan))
+            for name in system.modules]
+        try:
+            candidate = solve_multimodule_space(
+                space_problems, constraints, decomposer,
+                interconnect.label_dim)
+        except NoSpaceMapExists as exc:
+            last_error = exc
+            continue
+        if best is None or candidate.total_cells < best.total_cells:
+            best = candidate
+    if best is None:
+        # Final escalation: offsets everywhere.
+        space_problems = [
+            ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
+                               points[name], schedules[name],
+                               bound=space_bound, offsets=(-1, 0, 1))
+            for name in system.modules]
+        try:
+            best = solve_multimodule_space(
+                space_problems, constraints, decomposer,
+                interconnect.label_dim)
+        except NoSpaceMapExists:
+            raise last_error  # type: ignore[misc]
+    space_solution = best
+
+    return Design(system=system, params=params, interconnect=interconnect,
+                  schedules=schedules, space_maps=space_solution.maps,
+                  constraints=constraints)

@@ -1,0 +1,290 @@
+"""Step 2 of the Section III procedure: restructuring the high-level spec
+into a system of mutually dependent canonic-form recurrences.
+
+Given the coarse timing function and the chain decomposition, each chain
+becomes one recurrence module over ``(i^s, i_n)``:
+
+* one **carrier** variable per argument pipelines the operand value
+  ``c(i^s - d^s_j)`` through the chain's domain (rules, in first-match
+  order: propagate locally; take it from the *other* chain's carrier when
+  the predecessor point belongs to the other chain — the A1/A4 pattern;
+  take the finished result from the combine module — the A2/A3 pattern;
+  read the host seed);
+* one **accumulator** variable folds ``combine`` over ``body`` along the
+  chain (the chain head applies ``body`` alone);
+* a **combine** module joins the chain tails (statement A5) and carries the
+  final ``c`` values.
+
+The construction is generic over the spec's dimensionality, reduction
+bounds, argument structure and operations; applied to recurrence (8) it
+reproduces — by derivation, not by table lookup — exactly the hand-written
+system of Section IV (see ``tests/core/test_restructure.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.chains.decompose import ChainSpec, symbolic_chains
+from repro.core.coarse import CoarseTiming, coarse_timing
+from repro.ir.affine import AffineExpr, QuasiAffineExpr, var
+from repro.ir.indexset import Polyhedron, ge, le
+from repro.ir.ops import IDENTITY, Op, make_op
+from repro.ir.predicates import Predicate, TRUE, at_least, at_most
+from repro.ir.program import (
+    HighLevelSpec,
+    Module,
+    OutputSpec,
+    RecurrenceSystem,
+)
+from repro.ir.statements import ComputeRule, Equation, InputRule, LinkRule
+from repro.ir.variables import ExternalRef, Ref
+
+_CARRIER_NAMES = "abuvxyz"
+
+
+def fused_accumulate(h: Op, f: Op) -> Op:
+    """``hf(prev, ...) = h(prev, f(...))``."""
+    return make_op(f"{h.name}_after_{f.name}", f.arity + 1,
+                   lambda prev, *xs: h.fn(prev, f.fn(*xs)))
+
+
+def _substitute_constraints(constraints, binding) -> list[AffineExpr]:
+    return [e.substitute(binding) for e in constraints]
+
+
+def _conjunction(exprs: Sequence[AffineExpr]) -> Predicate:
+    pred = TRUE
+    for e in exprs:
+        if e.is_constant():
+            if e.const_term < 0:
+                raise ValueError(f"guard is unsatisfiable: {e} >= 0")
+            continue
+        pred = pred & at_least(e, 0)
+    return pred
+
+
+class RestructureError(Exception):
+    """The spec's shape is outside what the restructurer supports."""
+
+
+def _chain_domain(spec: HighLevelSpec, chain: ChainSpec) -> Polyhedron:
+    """Module domain: spec domain lifted with the chain's k-range."""
+    k = var(spec.reduction_index)
+    constraints = list(spec.domain.constraints)
+    if chain.order == "desc":
+        constraints.append(ge(k, spec.k_lower))
+        first = chain.first
+        if isinstance(first, QuasiAffineExpr):
+            # k <= floor(N/q)  <=>  q*k <= N.
+            constraints.append(le(k * first.divisor, first.numerator))
+        else:
+            constraints.append(le(k, first))
+    else:
+        constraints.append(le(k, spec.k_upper))
+        first = chain.first
+        if isinstance(first, QuasiAffineExpr):
+            # k >= floor(N/q)  <=>  q*k >= N - q + 1.
+            constraints.append(ge(k * first.divisor,
+                                  first.numerator - first.divisor + 1))
+        else:
+            constraints.append(ge(k, first))
+    dims = spec.dims + (spec.reduction_index,)
+    return Polyhedron(dims, constraints, spec.params)
+
+
+def _carrier_dep(spec: HighLevelSpec, coarse, arg_index: int) -> tuple[int, ...]:
+    """Propagation dependence of a carrier: one step along the replaced
+    coordinate, in the direction of increasing coarse time."""
+    t = spec.args[arg_index].replaced_coord
+    coeff = dict(zip(coarse.dims, coarse.coeffs))[spec.dims[t]]
+    if coeff == 0:
+        raise RestructureError(
+            f"coarse time is flat along {spec.dims[t]}; cannot orient the "
+            f"carrier of argument {arg_index}")
+    d = [0] * (len(spec.dims) + 1)
+    d[t] = 1 if coeff > 0 else -1
+    return tuple(d)
+
+
+def _shift_binding(dims: Sequence[str], d: Sequence[int]) -> dict[str, AffineExpr]:
+    """Binding mapping each dim x to ``x - d`` (the predecessor point)."""
+    return {name: var(name) - delta
+            for name, delta in zip(dims, d) if delta != 0}
+
+
+def _operand_source_exprs(spec: HighLevelSpec, arg_index: int
+                          ) -> list[AffineExpr]:
+    """The index ``ρ_j(p)`` of the operand value carried for argument j,
+    as expressions over the module dims."""
+    arg = spec.args[arg_index]
+    out: list[AffineExpr] = []
+    for pos, dim in enumerate(spec.dims):
+        if pos == arg.replaced_coord:
+            out.append(var(spec.reduction_index))
+        else:
+            out.append(var(dim) - arg.offsets[pos])
+    return out
+
+
+def _carrier_name(arg_index: int, chain_index: int) -> str:
+    return _CARRIER_NAMES[arg_index] + "p" * (chain_index + 1)
+
+
+def _acc_name(spec: HighLevelSpec, chain_index: int) -> str:
+    return spec.target + "p" * (chain_index + 1)
+
+
+def _carrier_equation(spec: HighLevelSpec, coarse, chains: list[ChainSpec],
+                      chain_index: int, arg_index: int,
+                      module_names: list[str],
+                      chain_domains: list[Polyhedron]) -> Equation:
+    dims = spec.dims + (spec.reduction_index,)
+    name = _carrier_name(arg_index, chain_index)
+    d = _carrier_dep(spec, coarse, arg_index)
+    pred_binding = _shift_binding(dims, d)
+    own = chain_domains[chain_index]
+    rules = []
+    # 1 — interior propagation: the predecessor point is in our own domain.
+    interior_guard = _conjunction(
+        _substitute_constraints(own.constraints, pred_binding))
+    pred_index = tuple(var(n) - delta for n, delta in zip(dims, d))
+    rules.append(ComputeRule(IDENTITY, (Ref(name, pred_index),),
+                             guard=interior_guard))
+    # 2 — hand-over from the other chain's carrier (A1/A4 pattern).
+    if len(chains) == 2:
+        other = 1 - chain_index
+        other_guard = _conjunction(_substitute_constraints(
+            chain_domains[other].constraints, pred_binding))
+        other_name = _carrier_name(arg_index, other)
+        rules.append(LinkRule(
+            ExternalRef(module_names[other], other_name, pred_index),
+            guard=other_guard,
+            label=f"{module_names[chain_index]}.{name}<-{module_names[other]}"))
+    # 3 — finished result from the combine module (A2/A3 pattern).
+    src_exprs = _operand_source_exprs(spec, arg_index)
+    comb_binding = dict(zip(spec.dims, src_exprs))
+    comb_guard = _conjunction(_substitute_constraints(
+        spec.domain.constraints, comb_binding))
+    rules.append(LinkRule(
+        ExternalRef("comb", spec.target, tuple(src_exprs)),
+        guard=comb_guard,
+        label=f"{module_names[chain_index]}.{name}<-comb"))
+    # 4 — host seed.
+    init_guard = _conjunction(_substitute_constraints(
+        spec.init_domain.constraints, comb_binding))
+    rules.append(InputRule(spec.init_input, tuple(src_exprs),
+                           guard=init_guard))
+    return Equation(name, tuple(rules))
+
+
+def _accumulator_equation(spec: HighLevelSpec, chain_index: int,
+                          chain_domains: list[Polyhedron],
+                          order: str) -> Equation:
+    dims = spec.dims + (spec.reduction_index,)
+    name = _acc_name(spec, chain_index)
+    own = chain_domains[chain_index]
+    # Accumulation reads the previous chain element: k+1 on a descending
+    # chain, k-1 on an ascending one.
+    step = 1 if order == "desc" else -1
+    prev_binding = {spec.reduction_index: var(spec.reduction_index) + step}
+    interior_guard = _conjunction(
+        _substitute_constraints(own.constraints, prev_binding))
+    carriers = tuple(
+        Ref(_carrier_name(a, chain_index),
+            tuple(var(n) for n in dims))
+        for a in range(len(spec.args)))
+    prev_ref = Ref(name, tuple(
+        var(n) + (step if n == spec.reduction_index else 0) for n in dims))
+    rules = (
+        ComputeRule(fused_accumulate(spec.combine, spec.body),
+                    (prev_ref,) + carriers, guard=interior_guard),
+        ComputeRule(spec.body, carriers, guard=TRUE),
+    )
+    return Equation(name, rules)
+
+
+def _combine_module(spec: HighLevelSpec, chains: list[ChainSpec],
+                    module_names: list[str]) -> Module:
+    dims = spec.dims
+    equations: list[Equation] = []
+    nonempty_preds: list[Predicate] = []
+    for ci, chain in enumerate(chains):
+        last = spec.k_lower if chain.order == "desc" else spec.k_upper
+        tail_index = tuple(var(n) for n in dims) + (last,)
+        if isinstance(chain.first, QuasiAffineExpr):
+            # The chain is non-empty iff its head lies inside the reduction
+            # range.  ``chain.first`` is already the head (the ascending
+            # chain's numerator carries the +q shift), so:
+            N, q = chain.first.numerator, chain.first.divisor
+            if chain.order == "desc":
+                # floor(N/q) >= k_lower  <=>  N >= q * k_lower.
+                nonempty = at_least(N, spec.k_lower * q)
+            else:
+                # floor(N/q) <= k_upper  <=>  N <= q * k_upper + q - 1.
+                nonempty = at_most(N, spec.k_upper * q + q - 1)
+        else:
+            nonempty = at_least(spec.k_upper - spec.k_lower, 0)
+        nonempty_preds.append(nonempty)
+        equations.append(Equation(
+            f"end{ci}",
+            (LinkRule(ExternalRef(module_names[ci], _acc_name(spec, ci),
+                                  tail_index),
+                      guard=TRUE, label="A5", min_gap=0),),
+            where=nonempty))
+    c_rules = []
+    if len(chains) == 2:
+        c_rules.append(ComputeRule(
+            spec.combine, (Ref("end0", tuple(var(n) for n in dims)),
+                           Ref("end1", tuple(var(n) for n in dims))),
+            guard=nonempty_preds[0] & nonempty_preds[1]))
+        c_rules.append(ComputeRule(
+            IDENTITY, (Ref("end0", tuple(var(n) for n in dims)),),
+            guard=nonempty_preds[0]))
+        c_rules.append(ComputeRule(
+            IDENTITY, (Ref("end1", tuple(var(n) for n in dims)),),
+            guard=TRUE))
+    else:
+        c_rules.append(ComputeRule(
+            IDENTITY, (Ref("end0", tuple(var(n) for n in dims)),),
+            guard=TRUE))
+    equations.append(Equation(spec.target, tuple(c_rules)))
+    return Module("comb", dims, spec.domain, equations)
+
+
+def restructure(spec: HighLevelSpec, coarse: CoarseTiming | None = None,
+                params: Mapping[str, int] | None = None,
+                bound: int = 3) -> RecurrenceSystem:
+    """Derive the system of mutually dependent recurrences from a spec.
+
+    Either pass a precomputed :class:`CoarseTiming` or concrete ``params``
+    from which one is derived.
+    """
+    if coarse is None:
+        if params is None:
+            raise ValueError("need either a CoarseTiming or params")
+        coarse = coarse_timing(spec, params, bound=bound)
+    schedule = coarse.schedule
+    chains = symbolic_chains(spec, schedule)
+    if len(chains) > 2:
+        raise RestructureError("more than two chains are not supported")
+    module_names = [f"m{ci + 1}" for ci in range(len(chains))]
+    chain_domains = [_chain_domain(spec, c) for c in chains]
+    modules: list[Module] = []
+    for ci, chain in enumerate(chains):
+        equations: list[Equation] = []
+        for a in range(len(spec.args)):
+            equations.append(_carrier_equation(
+                spec, schedule, chains, ci, a, module_names,
+                chain_domains))
+        equations.append(
+            _accumulator_equation(spec, ci, chain_domains, chain.order))
+        modules.append(Module(module_names[ci],
+                              spec.dims + (spec.reduction_index,),
+                              chain_domains[ci], equations))
+    modules.append(_combine_module(spec, chains, module_names))
+    outputs = [OutputSpec("comb", spec.target, spec.domain,
+                          tuple(var(n) for n in spec.dims))]
+    return RecurrenceSystem(
+        f"{spec.name}-restructured", modules, outputs,
+        input_names=(spec.init_input,), params=spec.params)

@@ -1,0 +1,33 @@
+"""Uniform designs (Section II.B): mapping a single canonic-form recurrence.
+
+A single-module system has no global constraints, so the pipeline reduces to
+condition (1) for ``T`` and conditions (2)/(3) for ``S`` — this is the
+classic transformational method of [Moldovan, Quinton, Miranker–Winkler] that
+the paper builds on, and the path that produces the convolution designs of
+Tables 1 and 2."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arrays.interconnect import Interconnect
+from repro.core.design import Design
+from repro.core.nonuniform import synthesize
+from repro.ir.program import RecurrenceSystem
+
+
+def synthesize_uniform(system: RecurrenceSystem, params: Mapping[str, int],
+                       interconnect: Interconnect,
+                       time_bound: int = 3,
+                       space_bound: int = 1) -> Design:
+    """Synthesize a single-module (canonic form) system.
+
+    Raises ``ValueError`` when the system has several modules — use
+    :func:`repro.core.nonuniform.synthesize` for those.
+    """
+    if len(system.modules) != 1:
+        raise ValueError(
+            f"system {system.name} has {len(system.modules)} modules; "
+            f"synthesize_uniform handles exactly one")
+    return synthesize(system, params, interconnect,
+                      time_bound=time_bound, space_bound=space_bound)

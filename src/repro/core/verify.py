@@ -1,0 +1,103 @@
+"""Independent verification of a synthesized design.
+
+A design passes when *both* of these agree:
+
+1. **Symbolic checks** — condition (1) per module, condition (2)
+   conflict-freedom over the enumerated domains, the global timing gaps of
+   every link instance, and flow realisability of every dependence;
+2. **Physical execution** — the design compiles to microcode (placement +
+   routing raise on any causality/locality violation) and the cycle-accurate
+   machine, fed only host inputs at the boundary, reproduces the reference
+   evaluator's results bit for bit.
+
+The checks are deliberately independent of the solvers: they re-derive
+everything from the system and the (T, S) assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.design import Design
+from repro.deps.extract import system_dependence_matrices
+from repro.ir.evaluate import trace_execution
+from repro.machine.microcode import compile_design
+from repro.machine.simulator import MachineStats, run
+from repro.space.allocation import conflict_free, flows_realisable
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_design`."""
+
+    schedule_valid: bool = True
+    conflict_free: bool = True
+    global_gaps_ok: bool = True
+    flows_ok: bool = True
+    machine_matches_reference: bool = True
+    failures: list[str] = field(default_factory=list)
+    machine_stats: MachineStats | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else "FAILED: " + "; ".join(self.failures)
+        return f"VerificationReport({status})"
+
+
+def verify_design(design: Design, inputs: Mapping[str, Callable],
+                  strict_capacity: bool = True) -> VerificationReport:
+    """Run all symbolic and physical checks; never raises on a *design*
+    failure (the report carries it), only on infrastructure errors."""
+    report = VerificationReport()
+    deps = system_dependence_matrices(design.system)
+    decomposer = design.interconnect.decomposer()
+
+    for name in design.system.modules:
+        sched = design.schedules[name]
+        smap = design.space_maps[name]
+        if not sched.satisfies(deps[name]):
+            report.schedule_valid = False
+            report.failures.append(
+                f"module {name}: T violates condition (1) on "
+                f"{sched.violated(deps[name])}")
+        pts = design.module_points(name)
+        if not conflict_free(sched, smap, pts):
+            report.conflict_free = False
+            report.failures.append(
+                f"module {name}: two computations share (time, cell)")
+        if len(deps[name]) and not flows_realisable(
+                deps[name], sched, smap, decomposer):
+            report.flows_ok = False
+            report.failures.append(
+                f"module {name}: some dependence flow is not realisable")
+
+    for gc in design.constraints:
+        dst_t = design.schedules[gc.dst_module].times(gc.dst_points)
+        src_t = design.schedules[gc.src_module].times(gc.src_points)
+        if not gc.timing_ok(dst_t, src_t):
+            report.global_gaps_ok = False
+            report.failures.append(
+                f"global constraint {gc.name}: gap below {gc.min_gap}")
+
+    # Physical execution against the reference evaluator.
+    trace = trace_execution(design.system, design.params, inputs)
+    try:
+        mc = compile_design(trace, design.schedules, design.space_maps,
+                            decomposer)
+        machine = run(mc, trace, inputs, strict=strict_capacity)
+    except Exception as exc:  # machine errors are design failures
+        report.machine_matches_reference = False
+        report.failures.append(f"machine: {type(exc).__name__}: {exc}")
+        return report
+    report.machine_stats = machine.stats
+    if machine.results != trace.results:
+        report.machine_matches_reference = False
+        diffs = [k for k in trace.results
+                 if machine.results.get(k) != trace.results[k]]
+        report.failures.append(
+            f"machine results differ from reference at {diffs[:5]}")
+    return report

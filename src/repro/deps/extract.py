@@ -1,0 +1,46 @@
+"""Extraction of constant dependence matrices from canonic-form modules.
+
+For a module in canonic form, every compute operand ``v[dims - d]`` yields the
+column ``d`` labelled ``v`` — this reproduces the matrices ``D`` of
+Section II (convolution) and the per-module matrices ``D_1``, ``D_2`` of
+Section IV (dynamic programming).
+"""
+
+from __future__ import annotations
+
+from repro.deps.vectors import DependenceMatrix, DependenceVector
+from repro.ir.program import Module, RecurrenceSystem
+from repro.ir.statements import ComputeRule
+
+
+def module_dependence_matrix(module: Module) -> DependenceMatrix:
+    """The local dependence matrix of one module (paper's D, D_1, D_2).
+
+    Column order is deterministic: equations in declaration order, rules in
+    order, operands left to right; duplicates collapse.  Zero vectors are
+    *excluded*: a same-point reference (``f(a'_{i,j,k}, b'_{i,j,k})`` inside
+    the ``c'`` statement) is an intra-cycle read within the cell, not a
+    dependence the time condition (1) quantifies over — the paper's matrices
+    D_1/D_2 likewise list only the propagation dependencies.
+    """
+    vectors: list[DependenceVector] = []
+    for eqn in module.equations.values():
+        for rule in eqn.rules:
+            if not isinstance(rule, ComputeRule):
+                continue
+            for ref in rule.operands:
+                d = ref.dependence_vector(module.dims)
+                if d is None:
+                    raise ValueError(
+                        f"module {module.name}: operand {ref} has a "
+                        f"non-constant dependence; extract after restructuring")
+                if any(c != 0 for c in d):
+                    vectors.append(DependenceVector(ref.var, d))
+    return DependenceMatrix(vectors)
+
+
+def system_dependence_matrices(system: RecurrenceSystem
+                               ) -> dict[str, DependenceMatrix]:
+    """Local dependence matrix of every module of a system."""
+    return {name: module_dependence_matrix(m)
+            for name, m in system.modules.items()}

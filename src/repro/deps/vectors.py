@@ -1,0 +1,117 @@
+"""Dependence vectors and dependence matrices.
+
+Following CA3 of the paper: "The dependence vector of a variable is defined
+as the difference of the index vectors of computations where the variable is
+used and generated."  A :class:`DependenceMatrix` is the matrix ``D`` whose
+columns are the dependence vectors, labelled by variable names — the object
+the time condition (1) ``T(d) > 0`` and the space condition (3)
+``S D = Δ K`` quantify over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DependenceVector:
+    """A constant dependence vector with the variable it belongs to."""
+
+    variable: str
+    vector: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", tuple(int(c) for c in self.vector))
+
+    @property
+    def dim(self) -> int:
+        return len(self.vector)
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.vector, dtype=np.int64)
+
+    def is_zero(self) -> bool:
+        return all(c == 0 for c in self.vector)
+
+    def __repr__(self) -> str:
+        return f"d[{self.variable}]={self.vector}"
+
+
+class DependenceMatrix:
+    """An ordered collection of dependence vectors (columns of ``D``).
+
+    Column order is deterministic: insertion order.  Duplicate
+    (variable, vector) pairs collapse.
+    """
+
+    def __init__(self, vectors: Iterable[DependenceVector] = ()) -> None:
+        self._vectors: list[DependenceVector] = []
+        seen: set[tuple[str, tuple[int, ...]]] = set()
+        for v in vectors:
+            key = (v.variable, v.vector)
+            if key not in seen:
+                seen.add(key)
+                self._vectors.append(v)
+        dims = {v.dim for v in self._vectors}
+        if len(dims) > 1:
+            raise ValueError(f"mixed dependence dimensions {dims}")
+
+    @staticmethod
+    def from_dict(deps: Mapping[str, Iterable[Sequence[int]]]) -> "DependenceMatrix":
+        """Build from ``{variable: [vector, ...]}`` (insertion-ordered)."""
+        vectors = []
+        for var, vs in deps.items():
+            for v in vs:
+                vectors.append(DependenceVector(var, tuple(v)))
+        return DependenceMatrix(vectors)
+
+    @property
+    def vectors(self) -> tuple[DependenceVector, ...]:
+        return tuple(self._vectors)
+
+    @property
+    def dim(self) -> int:
+        if not self._vectors:
+            raise ValueError("empty dependence matrix has no dimension")
+        return self._vectors[0].dim
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for v in self._vectors:
+            if v.variable not in seen:
+                seen.append(v.variable)
+        return tuple(seen)
+
+    def matrix(self) -> np.ndarray:
+        """The integer matrix ``D`` (dim x #vectors), columns in order."""
+        if not self._vectors:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.stack([v.as_array() for v in self._vectors], axis=1)
+
+    def columns_for(self, variable: str) -> list[DependenceVector]:
+        return [v for v in self._vectors if v.variable == variable]
+
+    def restrict(self, variables: Iterable[str]) -> "DependenceMatrix":
+        keep = set(variables)
+        return DependenceMatrix(v for v in self._vectors if v.variable in keep)
+
+    def merge(self, other: "DependenceMatrix") -> "DependenceMatrix":
+        return DependenceMatrix(self._vectors + list(other.vectors))
+
+    def vector_set(self) -> set[tuple[int, ...]]:
+        """The set of distinct vectors, ignoring variable labels."""
+        return {v.vector for v in self._vectors}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self):
+        return iter(self._vectors)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(map(repr, self._vectors))
+        return f"DependenceMatrix([{cols}])"

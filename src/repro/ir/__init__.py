@@ -1,0 +1,53 @@
+"""Intermediate representation: affine expressions, integer index sets,
+recurrence modules and systems, and a reference evaluator.
+
+This is the substrate the paper assumes as its "algorithmic model"
+(Section II.A): structured sets of computations written as recurrence
+relations or nested loops over integer index sets, with input/output/
+assignment/conditional-assignment statements.
+"""
+
+from repro.ir.affine import AffineExpr, QuasiAffineExpr, const, var, vars_
+from repro.ir.evaluate import (
+    CyclicDependence,
+    Event,
+    SystemTrace,
+    ValueKey,
+    run_system,
+    trace_execution,
+)
+from repro.ir.indexset import Polyhedron, eq, ge, gt, le, lt
+from repro.ir.ops import ADD, IDENTITY, MAC, MAX, MIN, MIN_PLUS, MUL, Op, make_op
+from repro.ir.predicates import (
+    Predicate,
+    TRUE,
+    at_least,
+    at_most,
+    equals,
+    even,
+    greater,
+    less,
+    odd,
+)
+from repro.ir.program import (
+    ArgSpec,
+    HighLevelSpec,
+    Module,
+    OutputSpec,
+    RecurrenceSystem,
+)
+from repro.ir.statements import ComputeRule, Equation, InputRule, LinkRule
+from repro.ir.validation import ValidationError, check_canonic, check_system
+from repro.ir.variables import ArrayVar, ExternalRef, Ref
+
+__all__ = [
+    "ADD", "IDENTITY", "MAC", "MAX", "MIN", "MIN_PLUS", "MUL",
+    "AffineExpr", "ArgSpec", "ArrayVar", "ComputeRule", "CyclicDependence",
+    "Equation", "Event", "ExternalRef", "HighLevelSpec", "InputRule",
+    "LinkRule", "Module", "Op", "OutputSpec", "Polyhedron", "Predicate",
+    "QuasiAffineExpr", "Ref", "RecurrenceSystem", "SystemTrace", "TRUE",
+    "ValidationError", "ValueKey", "at_least", "at_most", "check_canonic",
+    "check_system", "const", "eq", "equals", "even", "ge", "greater", "gt",
+    "le", "less", "lt", "make_op", "odd", "run_system", "trace_execution",
+    "var", "vars_",
+]

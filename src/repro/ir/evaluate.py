@@ -1,0 +1,151 @@
+"""Reference (sequential) execution of a :class:`RecurrenceSystem`.
+
+This evaluator is the semantic ground truth for everything downstream: the
+systolic machine simulator must produce exactly these values, and the
+dependence edges recorded here drive both design verification and machine
+microcode generation.
+
+Values are identified by :class:`ValueKey` ``(module, var, point)``.  The
+evaluator memoises and recurses, so any dependence-respecting order is
+realised; cyclic systems are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.ir.program import Module, RecurrenceSystem
+from repro.ir.statements import ComputeRule, InputRule, LinkRule, Rule
+
+
+@dataclass(frozen=True)
+class ValueKey:
+    """Identity of one computed value in the system."""
+
+    module: str
+    var: str
+    point: tuple[int, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.module}::{self.var}{self.point}"
+
+
+@dataclass
+class Event:
+    """One executed rule: the value produced and the values consumed."""
+
+    key: ValueKey
+    rule: Rule
+    operands: tuple[ValueKey, ...]   # empty for InputRule
+    value: object
+
+
+@dataclass
+class SystemTrace:
+    """Full record of a system execution.
+
+    ``events`` maps every produced value to its :class:`Event`;
+    ``results`` maps host output keys to final values;
+    ``domains`` caches the enumerated domain of each module.
+    """
+
+    system: RecurrenceSystem
+    params: dict[str, int]
+    events: dict[ValueKey, Event] = field(default_factory=dict)
+    results: dict[tuple[int, ...], object] = field(default_factory=dict)
+    domains: dict[str, list[tuple[int, ...]]] = field(default_factory=dict)
+
+    def value(self, key: ValueKey) -> object:
+        return self.events[key].value
+
+    def consumers(self) -> dict[ValueKey, list[ValueKey]]:
+        """Invert the producer->operand edges: who reads each value."""
+        out: dict[ValueKey, list[ValueKey]] = {}
+        for event in self.events.values():
+            for op_key in event.operands:
+                out.setdefault(op_key, []).append(event.key)
+        return out
+
+
+class CyclicDependence(Exception):
+    """The system's dependencies contain a cycle (no valid schedule exists)."""
+
+
+def trace_execution(system: RecurrenceSystem, params: Mapping[str, int],
+                    inputs: Mapping[str, Callable]) -> SystemTrace:
+    """Execute the system and record every event.
+
+    ``inputs`` binds each declared input name to a callable receiving the
+    evaluated index of the :class:`InputRule`.
+    """
+    missing = set(system.input_names) - set(inputs)
+    if missing:
+        raise KeyError(f"missing input bindings: {sorted(missing)}")
+    trace = SystemTrace(system, dict(params))
+    domains: dict[str, set[tuple[int, ...]]] = {}
+    for name, module in system.modules.items():
+        pts = list(module.domain.points(params))
+        trace.domains[name] = pts
+        domains[name] = set(pts)
+
+    in_progress: set[ValueKey] = set()
+
+    def compute(key: ValueKey) -> object:
+        if key in trace.events:
+            return trace.events[key].value
+        if key in in_progress:
+            raise CyclicDependence(f"cycle through {key}")
+        if key.point not in domains[key.module]:
+            raise KeyError(
+                f"reference to {key} outside the domain of module {key.module}")
+        in_progress.add(key)
+        module = system.modules[key.module]
+        binding = {**params, **dict(zip(module.dims, key.point))}
+        eqn = module.equations.get(key.var)
+        if eqn is None:
+            raise KeyError(f"no equation for {key.module}::{key.var}")
+        rule = eqn.select(binding)  # raises when the variable is undefined here
+        if isinstance(rule, ComputeRule):
+            operand_keys = tuple(
+                ValueKey(key.module, ref.var, ref.evaluate(binding))
+                for ref in rule.operands)
+            values = [compute(k) for k in operand_keys]
+            value = rule.op(*values)
+        elif isinstance(rule, LinkRule):
+            src_point = rule.source.evaluate(binding)
+            src_key = ValueKey(rule.source.module, rule.source.var, src_point)
+            operand_keys = (src_key,)
+            value = compute(src_key)
+        elif isinstance(rule, InputRule):
+            idx = tuple(
+                e.evaluate_int(binding) for e in rule.index)
+            operand_keys = ()
+            value = inputs[rule.input_name](*idx)
+        else:  # pragma: no cover - exhaustive over Rule union
+            raise TypeError(f"unknown rule type {type(rule).__name__}")
+        in_progress.discard(key)
+        trace.events[key] = Event(key, rule, operand_keys, value)
+        return value
+
+    # Force every value of every module (systolic execution computes all of
+    # them; lazy evaluation of only outputs would under-approximate conflicts).
+    for name, module in system.modules.items():
+        for var, eqn in module.equations.items():
+            for p in trace.domains[name]:
+                if eqn.defined_at({**params, **dict(zip(module.dims, p))}):
+                    compute(ValueKey(name, var, p))
+
+    for out in system.outputs:
+        for p in out.domain.points(params):
+            binding = {**params, **dict(zip(out.domain.dims, p))}
+            host_key = tuple(e.evaluate_int(binding) for e in out.key)
+            trace.results[host_key] = trace.events[
+                ValueKey(out.module, out.var, p)].value
+    return trace
+
+
+def run_system(system: RecurrenceSystem, params: Mapping[str, int],
+               inputs: Mapping[str, Callable]) -> dict[tuple[int, ...], object]:
+    """Execute and return only the host results."""
+    return trace_execution(system, params, inputs).results

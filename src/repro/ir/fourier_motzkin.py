@@ -1,0 +1,148 @@
+"""Fourier–Motzkin elimination over systems of rational affine inequalities.
+
+The index sets of the paper (rectangles for convolution, the triangle
+``1 <= i < k < j <= n`` for dynamic programming) are integer polyhedra.  We
+need three operations on them: emptiness testing, projection (variable
+elimination) and per-variable bounds for lattice-point enumeration.  All three
+reduce to Fourier–Motzkin elimination, which is exact and fast for the small
+dimensionalities (<= 4 variables) that systolic synthesis manipulates.
+
+A constraint is an :class:`~repro.ir.affine.AffineExpr` ``e`` interpreted as
+``e >= 0``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.ir.affine import AffineExpr
+
+
+class Infeasible(Exception):
+    """Raised when a system of inequalities is discovered to be empty."""
+
+
+def _split_on(constraints: Iterable[AffineExpr], name: str):
+    """Partition constraints into (lower, upper, free) w.r.t. ``name``.
+
+    For ``c*name + rest >= 0``: if ``c > 0`` the constraint lower-bounds
+    ``name`` (``name >= -rest/c``); if ``c < 0`` it upper-bounds it.
+    """
+    lowers: list[tuple[Fraction, AffineExpr]] = []
+    uppers: list[tuple[Fraction, AffineExpr]] = []
+    free: list[AffineExpr] = []
+    for e in constraints:
+        c = e.coeff(name)
+        rest = e - AffineExpr({name: c})
+        if c > 0:
+            lowers.append((c, rest))
+        elif c < 0:
+            uppers.append((c, rest))
+        else:
+            free.append(e)
+    return lowers, uppers, free
+
+
+def eliminate(constraints: Sequence[AffineExpr], name: str) -> list[AffineExpr]:
+    """Project out ``name``: return constraints on the remaining variables
+    whose rational solutions are exactly the projection of the input system.
+    """
+    lowers, uppers, free = _split_on(constraints, name)
+    result = list(free)
+    # lower: name >= -rl/cl  (cl > 0);  upper: name <= -ru/cu (cu < 0 so
+    # -ru/cu = ru/(-cu)).  Combination: -rl/cl <= ru/(-cu)
+    #   <=>  rl*(-cu) + ru*cl >= 0.
+    for cl, rl in lowers:
+        for cu, ru in uppers:
+            combined = rl * (-cu) + ru * cl
+            result.append(combined)
+    return result
+
+
+def eliminate_all(constraints: Sequence[AffineExpr],
+                  names: Iterable[str]) -> list[AffineExpr]:
+    """Eliminate several variables in sequence."""
+    current = list(constraints)
+    for name in names:
+        current = eliminate(current, name)
+        current = deduplicate(current)
+    return current
+
+
+def deduplicate(constraints: Sequence[AffineExpr]) -> list[AffineExpr]:
+    """Drop duplicate constraints (after normalising positive scale) and
+    trivially-true constant constraints; raise :class:`Infeasible` on a
+    trivially-false one.
+    """
+    seen: set[AffineExpr] = set()
+    result: list[AffineExpr] = []
+    for e in constraints:
+        if e.is_constant():
+            if e.const_term < 0:
+                raise Infeasible(f"constant constraint violated: {e} >= 0")
+            continue
+        scale = None
+        for c in e.coeffs.values():
+            scale = abs(c)
+            break
+        normalised = e / scale if scale not in (None, 0) else e
+        if normalised not in seen:
+            seen.add(normalised)
+            result.append(e)
+    return result
+
+
+def is_satisfiable(constraints: Sequence[AffineExpr],
+                   names: Sequence[str]) -> bool:
+    """Rational satisfiability of the system over the given variables."""
+    try:
+        remaining = eliminate_all(deduplicate(constraints), names)
+    except Infeasible:
+        return False
+    for e in remaining:
+        if e.is_constant() and e.const_term < 0:
+            return False
+        if not e.is_constant():
+            raise ValueError(
+                f"constraint {e} mentions variables outside {list(names)}")
+    return True
+
+
+def rational_bounds(constraints: Sequence[AffineExpr], name: str,
+                    other_names: Sequence[str]) -> tuple[Fraction | None, Fraction | None]:
+    """Rational (lo, hi) bounds of ``name`` over the system, eliminating all
+    ``other_names`` first.  ``None`` means unbounded on that side.
+
+    Raises :class:`Infeasible` if the system is empty.
+    """
+    projected = eliminate_all(deduplicate(constraints), other_names)
+    lowers, uppers, free = _split_on(projected, name)
+    for e in free:
+        if e.is_constant() and e.const_term < 0:
+            raise Infeasible(f"{e} >= 0 violated")
+    lo: Fraction | None = None
+    hi: Fraction | None = None
+    for c, rest in lowers:
+        if not rest.is_constant():
+            raise ValueError("rational_bounds requires all other vars eliminated")
+        bound = -rest.const_term / c
+        lo = bound if lo is None else max(lo, bound)
+    for c, rest in uppers:
+        if not rest.is_constant():
+            raise ValueError("rational_bounds requires all other vars eliminated")
+        bound = -rest.const_term / c
+        hi = bound if hi is None else min(hi, bound)
+    if lo is not None and hi is not None and lo > hi:
+        raise Infeasible(f"{name} has empty range [{lo}, {hi}]")
+    return lo, hi
+
+
+def integer_bounds(constraints: Sequence[AffineExpr], name: str,
+                   other_names: Sequence[str]) -> tuple[int | None, int | None]:
+    """Integer (lo, hi) bounds: ceil of the rational lower bound, floor of the
+    rational upper bound."""
+    lo, hi = rational_bounds(constraints, name, other_names)
+    ilo = None if lo is None else -((-lo.numerator) // lo.denominator)
+    ihi = None if hi is None else hi.numerator // hi.denominator
+    return ilo, ihi

@@ -1,0 +1,180 @@
+"""Integer index sets (lattice polyhedra) for loop nests and recurrences.
+
+An algorithm in the paper's model is indexed by
+``I^n = {(i_1..i_n) | l_k^1 <= i_k <= l_k^2}`` — in general a parametric
+integer polyhedron such as the dynamic-programming triangle
+``{(i, j, k) | 1 <= i, j <= n, i < k < j}``.  :class:`Polyhedron` stores the
+affine constraints symbolically (parameters like ``n`` stay symbolic) and
+supports containment, emptiness, projection and lattice-point enumeration for
+concrete parameter values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.ir import fourier_motzkin as fm
+from repro.ir.affine import AffineExpr, ExprLike, Number
+
+
+def ge(lhs: ExprLike, rhs: ExprLike) -> AffineExpr:
+    """Constraint ``lhs >= rhs`` as an expression ``>= 0``."""
+    return AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs)
+
+
+def le(lhs: ExprLike, rhs: ExprLike) -> AffineExpr:
+    """Constraint ``lhs <= rhs``."""
+    return AffineExpr.coerce(rhs) - AffineExpr.coerce(lhs)
+
+
+def gt(lhs: ExprLike, rhs: ExprLike) -> AffineExpr:
+    """Strict integer constraint ``lhs > rhs`` (i.e. ``lhs >= rhs + 1``)."""
+    return AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs) - 1
+
+
+def lt(lhs: ExprLike, rhs: ExprLike) -> AffineExpr:
+    """Strict integer constraint ``lhs < rhs``."""
+    return AffineExpr.coerce(rhs) - AffineExpr.coerce(lhs) - 1
+
+
+def eq(lhs: ExprLike, rhs: ExprLike) -> tuple[AffineExpr, AffineExpr]:
+    """Equality as a pair of opposite inequalities."""
+    diff = AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs)
+    return diff, -diff
+
+
+class Polyhedron:
+    """A parametric integer polyhedron.
+
+    ``dims`` is the ordered tuple of index-variable names (the dimensions of
+    the set); ``params`` are symbolic size parameters (e.g. ``n``).  Every
+    constraint is an :class:`AffineExpr` over ``dims + params`` interpreted as
+    ``>= 0``.
+    """
+
+    def __init__(self, dims: Sequence[str],
+                 constraints: Iterable[AffineExpr] = (),
+                 params: Sequence[str] = ()) -> None:
+        self.dims: tuple[str, ...] = tuple(dims)
+        self.params: tuple[str, ...] = tuple(params)
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"duplicate dimensions in {self.dims}")
+        if set(self.dims) & set(self.params):
+            raise ValueError("a name cannot be both a dimension and a parameter")
+        allowed = set(self.dims) | set(self.params)
+        self.constraints: tuple[AffineExpr, ...] = tuple(constraints)
+        for e in self.constraints:
+            extra = e.variables() - allowed
+            if extra:
+                raise ValueError(
+                    f"constraint {e} mentions unknown names {sorted(extra)}")
+
+    # -- construction -------------------------------------------------------
+    @staticmethod
+    def box(bounds: Mapping[str, tuple[ExprLike, ExprLike]],
+            params: Sequence[str] = ()) -> "Polyhedron":
+        """Rectangular (possibly parametric) box: ``{name: (lo, hi)}``."""
+        constraints: list[AffineExpr] = []
+        for name, (lo, hi) in bounds.items():
+            constraints.append(ge(name, lo))
+            constraints.append(le(name, hi))
+        return Polyhedron(tuple(bounds), constraints, params)
+
+    def with_constraints(self, *extra: AffineExpr) -> "Polyhedron":
+        """A copy with additional constraints."""
+        flat: list[AffineExpr] = []
+        for e in extra:
+            if isinstance(e, tuple):
+                flat.extend(e)
+            else:
+                flat.append(e)
+        return Polyhedron(self.dims, self.constraints + tuple(flat), self.params)
+
+    # -- queries -------------------------------------------------------------
+    def bind_params(self, params: Mapping[str, Number]) -> "Polyhedron":
+        """Substitute concrete values for (a subset of) the parameters."""
+        remaining = tuple(p for p in self.params if p not in params)
+        bound = [e.partial(params) for e in self.constraints]
+        return Polyhedron(self.dims, bound, remaining)
+
+    def contains(self, point: Mapping[str, Number] | Sequence[Number],
+                 params: Mapping[str, Number] | None = None) -> bool:
+        """Integer membership of ``point`` (dict or tuple in dim order)."""
+        binding = self._binding(point, params)
+        return all(e.evaluate(binding) >= 0 for e in self.constraints)
+
+    def _binding(self, point, params) -> dict[str, Number]:
+        if isinstance(point, Mapping):
+            binding = dict(point)
+        else:
+            point = tuple(point)
+            if len(point) != len(self.dims):
+                raise ValueError(
+                    f"point has {len(point)} coordinates, expected {len(self.dims)}")
+            binding = dict(zip(self.dims, point))
+        if params:
+            binding.update(params)
+        missing = set(self.params) - set(binding)
+        if missing:
+            raise KeyError(f"unbound parameters {sorted(missing)}")
+        return binding
+
+    def is_empty(self, params: Mapping[str, Number] | None = None) -> bool:
+        """Rational emptiness check via Fourier–Motzkin.
+
+        Note: rational emptiness is a sound proxy here — all of the paper's
+        index sets are either empty or contain lattice points, and the
+        enumeration path is exact regardless.
+        """
+        constraints = [e.partial(params) for e in self.constraints] if params \
+            else list(self.constraints)
+        names = list(self.dims) + [p for p in self.params
+                                   if not params or p not in params]
+        return not fm.is_satisfiable(constraints, names)
+
+    def points(self, params: Mapping[str, Number] | None = None
+               ) -> Iterator[tuple[int, ...]]:
+        """Enumerate all lattice points (in lexicographic dim order)."""
+        constraints = [e.partial(params) for e in self.constraints] if params \
+            else list(self.constraints)
+        unbound = [p for p in self.params if not params or p not in params]
+        if unbound:
+            raise KeyError(f"unbound parameters {unbound}")
+        yield from self._enumerate(constraints, 0, ())
+
+    def _enumerate(self, constraints: list[AffineExpr], depth: int,
+                   prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        if depth == len(self.dims):
+            yield prefix
+            return
+        name = self.dims[depth]
+        later = list(self.dims[depth + 1:])
+        try:
+            lo, hi = fm.integer_bounds(constraints, name, later)
+        except fm.Infeasible:
+            return
+        if lo is None or hi is None:
+            raise ValueError(
+                f"dimension {name} is unbounded; cannot enumerate")
+        for value in range(lo, hi + 1):
+            narrowed = [e.partial({name: value}) for e in constraints]
+            try:
+                narrowed = fm.deduplicate(narrowed)
+            except fm.Infeasible:
+                continue
+            yield from self._enumerate(narrowed, depth + 1, prefix + (value,))
+
+    def count(self, params: Mapping[str, Number] | None = None) -> int:
+        """Number of lattice points."""
+        return sum(1 for _ in self.points(params))
+
+    def project(self, keep: Sequence[str]) -> "Polyhedron":
+        """Project onto a subset of the dimensions (rational projection)."""
+        keep = tuple(keep)
+        drop = [d for d in self.dims if d not in keep]
+        projected = fm.eliminate_all(list(self.constraints), drop)
+        return Polyhedron(keep, projected, self.params)
+
+    def __repr__(self) -> str:
+        cons = ", ".join(f"{e} >= 0" for e in self.constraints)
+        return f"Polyhedron(dims={list(self.dims)}, params={list(self.params)}, {{{cons}}})"

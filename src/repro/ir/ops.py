@@ -1,0 +1,58 @@
+"""Operations appearing on the right-hand side of recurrence equations.
+
+The paper keeps the combining functions abstract (``f`` and ``h`` in eq. (8));
+correctness of a design depends only on data dependencies, not on what the
+cells compute.  We carry an executable callable with each operation so the
+systolic machine simulator can actually run synthesized designs and compare
+against sequential references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named k-ary operation with executable semantics.
+
+    ``fn`` receives the operand values in the order the equation lists them.
+    """
+
+    name: str
+    arity: int
+    fn: Callable = field(compare=False, hash=False)
+
+    def __call__(self, *args):
+        if len(args) != self.arity:
+            raise TypeError(
+                f"op {self.name} expects {self.arity} operands, got {len(args)}")
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"Op({self.name}/{self.arity})"
+
+
+# -- the standard repertoire used by the paper's examples -------------------
+
+IDENTITY = Op("id", 1, lambda x: x)
+"""Pure data propagation (``w_{i,k} = w_{i-1,k}``)."""
+
+ADD = Op("add", 2, lambda a, b: a + b)
+MUL = Op("mul", 2, lambda a, b: a * b)
+MIN = Op("min", 2, min)
+MAX = Op("max", 2, max)
+
+MAC = Op("mac", 3, lambda acc, a, b: acc + a * b)
+"""Multiply-accumulate, the convolution cell action ``y + w*x``."""
+
+MIN_PLUS = Op("min_plus", 2, lambda a, b: a + b)
+"""The dynamic-programming body ``f(c_ik, c_kj) = c_ik + c_kj`` used by
+optimal parenthesization / shortest path; combined with :data:`MIN` as ``h``."""
+
+
+def make_op(name: str, arity: int, fn: Callable) -> Op:
+    """Create a custom operation (e.g. a parenthesization body that also
+    tracks the split position)."""
+    return Op(name, arity, fn)

@@ -1,0 +1,277 @@
+"""Program containers: canonic-form modules, systems of mutually dependent
+recurrences, and the high-level specification form of eq. (6).
+
+The paper works with three program shapes:
+
+1. A **canonic-form recurrence** (Section II.A, conditions CA1–CA4): here a
+   :class:`Module` whose equations use only :class:`ComputeRule` /
+   :class:`InputRule` with constant dependence vectors.
+2. A **system of mutually dependent recurrences** (output of the Section III
+   restructuring): a :class:`RecurrenceSystem` of several modules joined by
+   :class:`LinkRule` global dependencies.
+3. A **high-level specification** of the eq. (6) shape — a reduction over an
+   inner index whose data dependencies are non-constant:
+   ``c(i^s) = h-reduce over i_n of f(c(i^s - d^s_1), ..., c(i^s - d^s_m))``
+   — here :class:`HighLevelSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.ir.affine import AffineExpr, ExprLike, Number
+from repro.ir.indexset import Polyhedron
+from repro.ir.ops import Op
+from repro.ir.statements import ComputeRule, Equation, InputRule, LinkRule
+from repro.ir.variables import ExternalRef, IndexExpr, Ref
+
+
+class Module:
+    """One recurrence over an index domain.
+
+    A module is in *canonic form* when every :class:`ComputeRule` operand has
+    a constant dependence vector and stays inside the domain (checked by
+    :func:`repro.ir.validation.check_canonic`).  Link and input rules define
+    the module's boundary.
+    """
+
+    def __init__(self, name: str, dims: Sequence[str], domain: Polyhedron,
+                 equations: Iterable[Equation]) -> None:
+        self.name = name
+        self.dims: tuple[str, ...] = tuple(dims)
+        if self.dims != domain.dims:
+            raise ValueError(
+                f"module dims {self.dims} do not match domain dims {domain.dims}")
+        self.domain = domain
+        self.equations: dict[str, Equation] = {}
+        for eqn in equations:
+            if eqn.var in self.equations:
+                raise ValueError(f"duplicate equation for {eqn.var}")
+            self.equations[eqn.var] = eqn
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return self.domain.params
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self.equations)
+
+    def equation(self, var: str) -> Equation:
+        return self.equations[var]
+
+    def local_dependence_vectors(self) -> dict[str, set[tuple[int, ...]]]:
+        """Constant dependence vectors of every compute operand, keyed by the
+        *operand* variable name (the paper labels dependence-matrix columns by
+        variable names).
+
+        Raises if any compute operand is non-constant — such a module is not
+        canonic and must first be restructured.
+        """
+        deps: dict[str, set[tuple[int, ...]]] = {}
+        for eqn in self.equations.values():
+            for rule in eqn.rules:
+                if not isinstance(rule, ComputeRule):
+                    continue
+                for ref in rule.operands:
+                    d = ref.dependence_vector(self.dims)
+                    if d is None:
+                        raise ValueError(
+                            f"non-constant dependence {ref} in module "
+                            f"{self.name}; not canonic")
+                    deps.setdefault(ref.var, set()).add(d)
+        return deps
+
+    def links(self) -> list[tuple[str, LinkRule]]:
+        """All (dst_var, LinkRule) pairs of the module."""
+        out = []
+        for eqn in self.equations.values():
+            for rule in eqn.rules:
+                if isinstance(rule, LinkRule):
+                    out.append((eqn.var, rule))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Module({self.name}, dims={list(self.dims)}, "
+                f"vars={list(self.equations)})")
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Declares which values are the system's results.
+
+    For every point of ``domain`` (a sub-domain of module ``module``'s
+    domain), the value of ``var`` there is the result keyed by the evaluated
+    ``key`` index expressions (host coordinates).
+    """
+
+    module: str
+    var: str
+    domain: Polyhedron
+    key: tuple[IndexExpr, ...]
+
+
+class RecurrenceSystem:
+    """A set of mutually dependent recurrence modules plus output spec.
+
+    ``input_names`` declares the host-input functions referenced by
+    :class:`InputRule` equations; execution binds them to callables.
+    """
+
+    def __init__(self, name: str, modules: Iterable[Module],
+                 outputs: Sequence[OutputSpec],
+                 input_names: Sequence[str] = (),
+                 params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.modules: dict[str, Module] = {}
+        for m in modules:
+            if m.name in self.modules:
+                raise ValueError(f"duplicate module name {m.name}")
+            self.modules[m.name] = m
+        self.outputs: tuple[OutputSpec, ...] = tuple(outputs)
+        self.input_names: tuple[str, ...] = tuple(input_names)
+        self.params: tuple[str, ...] = tuple(params)
+        self._check_references()
+
+    def _check_references(self) -> None:
+        for m in self.modules.values():
+            for _, rule in m.links():
+                src = rule.source
+                if src.module not in self.modules:
+                    raise ValueError(
+                        f"module {m.name} links to unknown module {src.module}")
+                if src.var not in self.modules[src.module].equations:
+                    raise ValueError(
+                        f"module {m.name} links to unknown variable "
+                        f"{src.module}::{src.var}")
+        for out in self.outputs:
+            if out.module not in self.modules:
+                raise ValueError(f"output references unknown module {out.module}")
+            if out.var not in self.modules[out.module].equations:
+                raise ValueError(
+                    f"output references unknown variable {out.module}::{out.var}")
+
+    def module(self, name: str) -> Module:
+        return self.modules[name]
+
+    def all_links(self) -> list[tuple[str, str, LinkRule]]:
+        """All (dst_module, dst_var, rule) link statements of the system."""
+        out = []
+        for m in self.modules.values():
+            for var, rule in m.links():
+                out.append((m.name, var, rule))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"RecurrenceSystem({self.name}, "
+                f"modules={list(self.modules)})")
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One operand ``c(i^s - d^s_j)`` of the eq. (6) statement.
+
+    ``replaced_coord`` is the position ``t_j`` whose index is replaced by the
+    reduction index ``i_n``; ``offsets`` are the constant components
+    ``a_{j,l}`` for the other coordinates (entry at ``replaced_coord`` is
+    ignored and kept 0 by convention).
+    """
+
+    replaced_coord: int
+    offsets: tuple[int, ...]
+
+    def operand_point(self, point: Sequence[int], k: int) -> tuple[int, ...]:
+        """The index of ``c`` read by this argument at ``point`` with
+        reduction index value ``k``."""
+        coords = list(point)
+        for pos, off in enumerate(self.offsets):
+            if pos != self.replaced_coord:
+                coords[pos] -= off
+        coords[self.replaced_coord] = k
+        return tuple(coords)
+
+
+@dataclass(frozen=True)
+class HighLevelSpec:
+    """The paper's eq. (6): a reduction with non-constant dependencies.
+
+    ``c(i^s) = combine-reduce for i_n in [k_lower(i^s), k_upper(i^s)] of
+    body(c(arg_1), ..., c(arg_m))``, with initial values of ``c`` on
+    ``init_domain`` supplied by host input ``init_input``.
+
+    ``domain`` is the set of points where the reduction statement applies
+    (``k_lower <= k_upper`` must hold there); ``init_domain`` the boundary.
+    """
+
+    name: str
+    dims: tuple[str, ...]
+    domain: Polyhedron
+    target: str
+    reduction_index: str
+    k_lower: AffineExpr
+    k_upper: AffineExpr
+    body: Op
+    combine: Op
+    args: tuple[ArgSpec, ...]
+    init_domain: Polyhedron
+    init_input: str
+    params: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.body.arity != len(self.args):
+            raise ValueError(
+                f"body op arity {self.body.arity} != #args {len(self.args)}")
+        if self.combine.arity != 2:
+            raise ValueError("combine op must be binary")
+        for a in self.args:
+            if not 0 <= a.replaced_coord < len(self.dims):
+                raise ValueError(f"replaced_coord out of range in {a}")
+            if len(a.offsets) != len(self.dims):
+                raise ValueError(f"offsets arity mismatch in {a}")
+
+    def k_range(self, point: Mapping[str, Number]) -> range:
+        """Concrete reduction range at a domain point."""
+        lo = self.k_lower.evaluate_int(point)
+        hi = self.k_upper.evaluate_int(point)
+        return range(lo, hi + 1)
+
+    def evaluate(self, params: Mapping[str, int],
+                 init, order_hint: str | None = None) -> dict[tuple[int, ...], object]:
+        """Sequential golden-model evaluation of the spec.
+
+        ``init`` is a callable giving the target's value on ``init_domain``
+        points.  Values are computed by memoised recursion, so any
+        dependence-respecting order is realised automatically.  Returns the
+        map point -> value over ``domain`` and ``init_domain``.
+        """
+        cache: dict[tuple[int, ...], object] = {}
+        for p in self.init_domain.points(params):
+            cache[p] = init(*p)
+        in_domain = set(self.domain.points(params))
+        visiting: set[tuple[int, ...]] = set()
+
+        def value(p: tuple[int, ...]):
+            if p in cache:
+                return cache[p]
+            if p not in in_domain:
+                raise KeyError(
+                    f"{self.name}: reference to {p} outside domain and init")
+            if p in visiting:
+                raise ValueError(f"cyclic dependence at {p}")
+            visiting.add(p)
+            binding = dict(zip(self.dims, p))
+            acc = None
+            for k in self.k_range(binding):
+                operands = [value(a.operand_point(p, k)) for a in self.args]
+                term = self.body(*operands)
+                acc = term if acc is None else self.combine(acc, term)
+            if acc is None:
+                raise ValueError(f"empty reduction at {p}")
+            visiting.discard(p)
+            cache[p] = acc
+            return acc
+
+        for p in in_domain:
+            value(p)
+        return cache

@@ -1,0 +1,118 @@
+"""Defining rules and equations of recurrence modules.
+
+Each variable of a module is defined by an :class:`Equation`, which is a list
+of guarded rules.  At every domain point exactly one rule's guard must hold
+(checked by :mod:`repro.ir.validation`); the rule then says how the value is
+produced:
+
+* :class:`ComputeRule` — apply an operation to module-local operands whose
+  references have *constant* dependence vectors (the canonic-form case);
+* :class:`LinkRule` — take the value of another module's variable (the
+  paper's inter-module statements A1–A4 and the operand feeds of A5; these
+  carry the *global*, possibly non-constant dependencies);
+* :class:`InputRule` — a boundary value supplied by the host (initial
+  conditions such as ``y_{i,0} = 0`` or ``w_{0,k} = w_k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Union
+
+from repro.ir.ops import Op
+from repro.ir.predicates import Predicate, TRUE
+from repro.ir.variables import ExternalRef, IndexExpr, Ref
+
+
+@dataclass(frozen=True)
+class ComputeRule:
+    """``var[dims] = op(operands...)`` under ``guard``."""
+
+    op: Op
+    operands: tuple[Ref, ...]
+    guard: Predicate = TRUE
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != self.op.arity:
+            raise ValueError(
+                f"op {self.op.name} expects {self.op.arity} operands, "
+                f"got {len(self.operands)}")
+
+    def __repr__(self) -> str:
+        ops = ", ".join(map(repr, self.operands))
+        return f"[{self.guard}] {self.op.name}({ops})"
+
+
+@dataclass(frozen=True)
+class LinkRule:
+    """``var[dims] = other_module::src_var[index]`` under ``guard``.
+
+    ``label`` names the statement for reporting (the paper's A1..A5).
+    ``min_gap`` is the timing slack the transfer needs: 1 for a cycle-crossing
+    register transfer (A1–A4 are strict ``>`` constraints in Section V.A),
+    0 for an intra-cycle read by a co-located statement (A5's ``>=``).
+    """
+
+    source: ExternalRef
+    guard: Predicate = TRUE
+    label: str = ""
+    min_gap: int = 1
+
+    def __repr__(self) -> str:
+        tag = f"{self.label}: " if self.label else ""
+        return f"[{self.guard}] {tag}{self.source}"
+
+
+@dataclass(frozen=True)
+class InputRule:
+    """``var[dims] = host_input(input_name)[index]`` under ``guard``.
+
+    The host supplies a function per ``input_name``; the concrete index to
+    fetch is obtained by evaluating ``index`` at the domain point.  A constant
+    initialisation (``y_{i,0} = 0``) uses an ``input_name`` bound to a
+    constant function of no or ignored arguments.
+    """
+
+    input_name: str
+    index: tuple[IndexExpr, ...]
+    guard: Predicate = TRUE
+
+    def __repr__(self) -> str:
+        idx = ", ".join(map(repr, self.index))
+        return f"[{self.guard}] input {self.input_name}[{idx}]"
+
+
+Rule = Union[ComputeRule, LinkRule, InputRule]
+
+
+@dataclass(frozen=True)
+class Equation:
+    """All defining rules of one module variable.
+
+    ``where`` restricts the variable's defining domain to a sub-predicate of
+    the module domain (TRUE = everywhere).  Within that sub-domain, rules use
+    *first-match* semantics — the paper's pseudocode is an if/elif cascade —
+    so guards need to cover the domain but not partition it; :meth:`select`
+    returns the first rule whose guard holds.
+    """
+
+    var: str
+    rules: tuple[Rule, ...]
+    where: Predicate = TRUE
+
+    def defined_at(self, point) -> bool:
+        return self.where.holds(point)
+
+    def select(self, point) -> Rule:
+        if not self.where.holds(point):
+            raise ValueError(
+                f"variable {self.var} is not defined at {dict(point)}")
+        for rule in self.rules:
+            if rule.guard.holds(point):
+                return rule
+        raise ValueError(
+            f"equation for {self.var}: no rule guard holds at {dict(point)}")
+
+    def __repr__(self) -> str:
+        body = "; ".join(map(repr, self.rules))
+        return f"{self.var} := {body}"

@@ -1,0 +1,151 @@
+"""Canonic-form validation (conditions CA1–CA4 of Section II.A) and
+structural well-formedness checks for recurrence systems.
+
+CA1 — every variable carries a full index vector: structural in our IR (a
+:class:`Ref` always has one index expression per dimension).
+
+CA2 — coordinate ``i_k`` of a reference may depend only on ``j_k``: we check
+each index expression mentions at most the matching dimension.
+
+CA3 — dependence vectors of compute operands are constant.  Zero vectors are
+allowed: they are intra-cycle reads within a cell (``f(a'_{ijk}, b'_{ijk})``
+inside the ``c'`` statement of Section IV), not scheduling dependencies; the
+reference evaluator rejects any cyclic use of them.
+
+CA4 — single-assignment: one equation per variable, guards partition the
+variable's defining domain (:func:`check_guards_partition`).  "Used exactly
+once after generated" holds for the pipelining variables the transformations
+introduce; the combine statement A5 legitimately re-reads chain results, so
+multiplicity of *use* is reported by tooling, not enforced here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.affine import AffineExpr, QuasiAffineExpr
+from repro.ir.program import Module, RecurrenceSystem
+from repro.ir.statements import ComputeRule, InputRule, LinkRule
+
+
+class ValidationError(Exception):
+    """A structural condition of the canonic form is violated."""
+
+
+def check_ca2(module: Module) -> None:
+    """Each compute-operand index coordinate may involve only the matching
+    dimension (condition CA2)."""
+    for eqn in module.equations.values():
+        for rule in eqn.rules:
+            if not isinstance(rule, ComputeRule):
+                continue
+            for ref in rule.operands:
+                for pos, e in enumerate(ref.index):
+                    if isinstance(e, QuasiAffineExpr):
+                        raise ValidationError(
+                            f"{module.name}: quasi-affine coordinate in {ref}")
+                    extra = e.variables() - {module.dims[pos]} - set(module.params)
+                    if extra:
+                        raise ValidationError(
+                            f"{module.name}: coordinate {pos} of {ref} depends "
+                            f"on {sorted(extra)} (CA2 violated)")
+
+
+def check_constant_dependencies(module: Module) -> None:
+    """All compute operands have constant dependence vectors (CA3)."""
+    for eqn in module.equations.values():
+        for rule in eqn.rules:
+            if not isinstance(rule, ComputeRule):
+                continue
+            for ref in rule.operands:
+                if ref.dependence_vector(module.dims) is None:
+                    raise ValidationError(
+                        f"{module.name}: non-constant dependence {ref} "
+                        f"(CA3 violated)")
+
+
+def check_guards_cover(module: Module, params: Mapping[str, int]) -> None:
+    """At every point where a variable is defined, at least one of its rule
+    guards holds (rules have first-match semantics)."""
+    points = list(module.domain.points(params))
+    for eqn in module.equations.values():
+        for p in points:
+            binding = {**params, **dict(zip(module.dims, p))}
+            if not eqn.defined_at(binding):
+                continue
+            if not any(r.guard.holds(binding) for r in eqn.rules):
+                raise ValidationError(
+                    f"{module.name}::{eqn.var}: no guard holds at {p}")
+
+
+# Backwards-compatible alias (the partition check predates first-match rules).
+check_guards_partition = check_guards_cover
+
+
+def check_compute_refs_defined(module: Module,
+                               params: Mapping[str, int]) -> None:
+    """Compute-rule operands must reference points where the operand variable
+    is defined (inside the domain and its ``where`` predicate); boundary
+    values must come through link/input rules instead."""
+    points = set(module.domain.points(params))
+    for eqn in module.equations.values():
+        for p in points:
+            binding = {**params, **dict(zip(module.dims, p))}
+            if not eqn.defined_at(binding):
+                continue
+            rule = eqn.select(binding)
+            if not isinstance(rule, ComputeRule):
+                continue
+            for ref in rule.operands:
+                q = ref.evaluate(binding)
+                if q not in points:
+                    raise ValidationError(
+                        f"{module.name}::{eqn.var} at {p}: operand {ref} "
+                        f"reaches {q} outside the domain")
+                target_eqn = module.equations.get(ref.var)
+                if target_eqn is None:
+                    raise ValidationError(
+                        f"{module.name}::{eqn.var}: operand variable "
+                        f"{ref.var} has no equation")
+                if not target_eqn.defined_at(
+                        {**params, **dict(zip(module.dims, q))}):
+                    raise ValidationError(
+                        f"{module.name}::{eqn.var} at {p}: operand {ref} "
+                        f"reaches {q} where {ref.var} is undefined")
+
+
+def check_canonic(module: Module, params: Mapping[str, int]) -> None:
+    """Full canonic-form check of a module for concrete parameters."""
+    check_ca2(module)
+    check_constant_dependencies(module)
+    check_guards_cover(module, params)
+    check_compute_refs_defined(module, params)
+
+
+def check_system(system: RecurrenceSystem, params: Mapping[str, int]) -> None:
+    """Validate every module of a system plus link targets."""
+    for module in system.modules.values():
+        check_canonic(module, params)
+    domains = {name: set(m.domain.points(params))
+               for name, m in system.modules.items()}
+    for dst_module, dst_var, rule in system.all_links():
+        module = system.modules[dst_module]
+        src_mod = system.modules[rule.source.module]
+        src_eqn = src_mod.equations[rule.source.var]
+        dst_eqn = module.equations[dst_var]
+        for p in domains[dst_module]:
+            binding = {**params, **dict(zip(module.dims, p))}
+            if not dst_eqn.defined_at(binding):
+                continue
+            if dst_eqn.select(binding) is not rule:
+                continue
+            q = rule.source.evaluate(binding)
+            if q not in domains[rule.source.module]:
+                raise ValidationError(
+                    f"link {rule.label or dst_var} at {p}: source "
+                    f"{rule.source.module}::{rule.source.var}{q} outside its domain")
+            if not src_eqn.defined_at(
+                    {**params, **dict(zip(src_mod.dims, q))}):
+                raise ValidationError(
+                    f"link {rule.label or dst_var} at {p}: source variable "
+                    f"undefined at {q}")

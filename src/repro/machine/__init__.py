@@ -1,0 +1,43 @@
+"""The systolic machine: microcode compilation (placement + routing) and a
+cycle-accurate, strictly local simulator — the hardware substrate standing in
+for the paper's VLSI arrays."""
+
+from repro.machine.analysis import (
+    CycleActivity,
+    activity_timeline,
+    io_schedule,
+    peak_parallelism,
+    render_activity,
+    stream_traffic,
+)
+from repro.machine.errors import (
+    CapacityError,
+    CausalityError,
+    LocalityError,
+    MachineError,
+    MissingOperandError,
+)
+from repro.machine.microcode import Hop, Injection, Microcode, Operation, compile_design
+from repro.machine.simulator import MachineRun, MachineStats, run
+
+__all__ = [
+    "CapacityError",
+    "CycleActivity",
+    "activity_timeline",
+    "io_schedule",
+    "peak_parallelism",
+    "render_activity",
+    "stream_traffic",
+    "CausalityError",
+    "Hop",
+    "Injection",
+    "LocalityError",
+    "MachineError",
+    "MachineRun",
+    "MachineStats",
+    "Microcode",
+    "MissingOperandError",
+    "Operation",
+    "compile_design",
+    "run",
+]

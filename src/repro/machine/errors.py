@@ -1,0 +1,28 @@
+"""Machine-level design violations.
+
+Each exception corresponds to a physical impossibility a wrong design would
+hit in silicon; the microcode compiler and simulator raise them instead of
+silently producing answers a real array could not."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for systolic machine violations."""
+
+
+class CausalityError(MachineError):
+    """An operand would be needed before (or when, across cells) it exists."""
+
+
+class LocalityError(MachineError):
+    """A value cannot reach its consumer over the interconnect in time."""
+
+
+class MissingOperandError(MachineError):
+    """At execution time a cell's register file lacks a needed operand —
+    indicates a compiler/routing bug rather than a design bug."""
+
+
+class CapacityError(MachineError):
+    """Two values of the same stream need the same link in the same cycle."""

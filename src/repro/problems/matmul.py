@@ -1,0 +1,67 @@
+"""Matrix multiplication — the classic 3-index canonic-form exerciser.
+
+``C = A @ B`` with ``c_{i,j} = sum_k a_{i,k} b_{k,j}`` pipelined as::
+
+    a_{i,j,k} = a_{i,j-1,k}        (A values travel along j)
+    b_{i,j,k} = b_{i-1,j,k}        (B values travel along i)
+    c_{i,j,k} = c_{i,j,k-1} + a_{i,j,k} * b_{i,j,k}
+
+Dependence matrix columns ``a=(0,1,0), b=(1,0,0), c=(0,0,1)`` — the standard
+uniform recurrence; it exercises the 2-D mapping machinery on a problem the
+paper's Section II pipeline handles without restructuring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.affine import var
+from repro.ir.indexset import Polyhedron, eq, ge, le
+from repro.ir.ops import IDENTITY, MAC, MUL
+from repro.ir.program import Module, OutputSpec, RecurrenceSystem
+from repro.ir.predicates import at_least, equals
+from repro.ir.statements import ComputeRule, Equation, InputRule
+from repro.ir.variables import Ref
+
+I, J, K = var("i"), var("j"), var("k")
+
+
+def matmul_system() -> RecurrenceSystem:
+    """Square ``n x n`` matrix product as a single canonic module."""
+    domain = Polyhedron.box(
+        {"i": (1, "n"), "j": (1, "n"), "k": (1, "n")}, params=("n",))
+    a = Equation("a", (
+        InputRule("A", (I, K), guard=equals(J, 1)),
+        ComputeRule(IDENTITY, (Ref.of("a", I, J - 1, K),),
+                    guard=at_least(J, 2)),
+    ))
+    b = Equation("b", (
+        InputRule("B", (K, J), guard=equals(I, 1)),
+        ComputeRule(IDENTITY, (Ref.of("b", I - 1, J, K),),
+                    guard=at_least(I, 2)),
+    ))
+    c = Equation("c", (
+        ComputeRule(MUL, (Ref.of("a", I, J, K), Ref.of("b", I, J, K)),
+                    guard=equals(K, 1)),
+        ComputeRule(MAC, (Ref.of("c", I, J, K - 1),
+                          Ref.of("a", I, J, K), Ref.of("b", I, J, K)),
+                    guard=at_least(K, 2)),
+    ))
+    module = Module("mm", ("i", "j", "k"), domain, [a, b, c])
+    out_domain = Polyhedron(
+        ("i", "j", "k"),
+        [ge(I, 1), le(I, "n"), ge(J, 1), le(J, "n"), *eq(K, var("n"))],
+        params=("n",))
+    return RecurrenceSystem(
+        "matmul", [module],
+        outputs=[OutputSpec("mm", "c", out_domain, (I, J))],
+        input_names=("A", "B"), params=("n",))
+
+
+def matmul_inputs(A: np.ndarray, B: np.ndarray) -> dict:
+    """Host bindings (1-based indices)."""
+    A = np.asarray(A)
+    B = np.asarray(B)
+
+    return {"A": lambda i, k: A[i - 1, k - 1],
+            "B": lambda k, j: B[k - 1, j - 1]}

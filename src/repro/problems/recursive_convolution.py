@@ -1,0 +1,133 @@
+"""Recursive convolution (Example 2 of Section II.C).
+
+``y_i = sum_{k=1..s} w_k * y_{i-k}`` — an autonomous (IIR-style) recursion
+driven by ``s`` seed values ``y_0, y_{-1}, ..., y_{1-s}``.
+
+The paper's point: "Of the two recurrences which can be derived ... only the
+forward recurrence has to be considered for a systolic implementation.  The
+backward recurrence does not lead to any reasonable design since it cannot
+overlap computations of ``y_{i,k}`` for different values of index ``k``."
+
+* **forward** — the accumulator runs k = s..1, carrying variable ``yv``
+  pipelines ``y_{i-k}`` diagonally; the feedback ``yv_{i,1} = y_{i-1}`` is a
+  constant (1, 0) dependence onto the previous output.  Optimal schedule
+  ``T = (2, -1)`` — completion grows like ``2n``, computations for
+  different ``k`` overlap.
+* **backward** — the accumulator runs k = 1..s, so the feedback needs the
+  *finished* ``y_{i-1} = acc_{i-1,s}``, a ``(1, 1-s)`` dependence; any valid
+  schedule then needs ``T_1 >= 1 + (s-1) T_2 >= s`` — completion grows like
+  ``s * n``: no overlap across ``k``, matching the paper's verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.affine import var
+from repro.ir.indexset import Polyhedron, eq, ge, le
+from repro.ir.ops import IDENTITY, MAC, MUL
+from repro.ir.program import Module, OutputSpec, RecurrenceSystem
+from repro.ir.predicates import at_least, at_most, equals
+from repro.ir.statements import ComputeRule, Equation, InputRule
+from repro.ir.variables import Ref
+
+I, K = var("i"), var("k")
+S = var("s")
+
+
+def _domain() -> Polyhedron:
+    return Polyhedron.box({"i": (1, "n"), "k": (1, "s")}, params=("n", "s"))
+
+
+def _w_equation() -> Equation:
+    return Equation("w", (
+        InputRule("w", (K,), guard=equals(I, 1)),
+        ComputeRule(IDENTITY, (Ref.of("w", I - 1, K),), guard=at_least(I, 2)),
+    ))
+
+
+def _yv_equation(feedback_shift: int) -> Equation:
+    """``yv_{i,k}`` carries ``y_{i-k}``; the feedback tap (fired at k = 1)
+    reads the finished output ``acc_{i-1, 1 + feedback_shift}`` expressed as
+    the translation ``acc[i-1, k + feedback_shift]`` so the dependence vector
+    is the constant ``(1, -feedback_shift)``.
+
+    Forward recurrence: the output sits at k = 1, shift 0, dependence (1, 0).
+    Backward: the output sits at k = s, shift s - 1, dependence (1, 1-s) —
+    the long feedback that destroys overlap.
+    """
+    return Equation("yv", (
+        InputRule("seed", (I - K,), guard=at_most(I, K)),
+        ComputeRule(IDENTITY, (Ref.of("acc", I - 1, K + feedback_shift),),
+                    guard=equals(K, 1)),
+        ComputeRule(IDENTITY, (Ref.of("yv", I - 1, K - 1),),
+                    guard=at_least(K, 2)),
+    ))
+
+
+def recursive_convolution_forward() -> RecurrenceSystem:
+    """Forward recurrence: ``acc_{i,k} = acc_{i,k+1} + w yv``; output at k=1."""
+    acc = Equation("acc", (
+        ComputeRule(MUL, (Ref.of("w", I, K), Ref.of("yv", I, K)),
+                    guard=equals(K, S)),
+        ComputeRule(MAC, (Ref.of("acc", I, K + 1),
+                          Ref.of("w", I, K), Ref.of("yv", I, K)),
+                    guard=at_least(S - K, 1)),
+    ))
+    module = Module("rconv", ("i", "k"), _domain(),
+                    [_w_equation(), _yv_equation(feedback_shift=0), acc])
+    out_domain = Polyhedron(("i", "k"),
+                            [ge(I, 1), le(I, "n"), *eq(K, 1)],
+                            params=("n", "s"))
+    return RecurrenceSystem(
+        "recursive-convolution-forward", [module],
+        outputs=[OutputSpec("rconv", "acc", out_domain, (I,))],
+        input_names=("w", "seed"), params=("n", "s"))
+
+
+def recursive_convolution_backward(s: int) -> RecurrenceSystem:
+    """Backward recurrence: ``acc_{i,k} = acc_{i,k-1} + w yv``; output at k=s.
+
+    The feedback tap becomes the long dependence ``(1, 1-s)`` onto
+    ``acc_{i-1,s}`` — this is the recurrence the paper rules out; its best
+    schedule serialises k.  Because the dependence vector itself involves
+    ``s``, this builder takes the concrete filter order (CA3 requires
+    constant dependence vectors)."""
+    s = int(s)
+    if s < 1:
+        raise ValueError("filter order s must be >= 1")
+    acc = Equation("acc", (
+        ComputeRule(MUL, (Ref.of("w", I, K), Ref.of("yv", I, K)),
+                    guard=equals(K, 1)),
+        ComputeRule(MAC, (Ref.of("acc", I, K - 1),
+                          Ref.of("w", I, K), Ref.of("yv", I, K)),
+                    guard=at_least(K, 2)),
+    ))
+    domain = Polyhedron.box({"i": (1, "n"), "k": (1, s)}, params=("n",))
+    module = Module("rconv", ("i", "k"), domain,
+                    [_w_equation(), _yv_equation(feedback_shift=s - 1), acc])
+    out_domain = Polyhedron(("i", "k"),
+                            [ge(I, 1), le(I, "n"), *eq(K, s)],
+                            params=("n",))
+    return RecurrenceSystem(
+        "recursive-convolution-backward", [module],
+        outputs=[OutputSpec("rconv", "acc", out_domain, (I,))],
+        input_names=("w", "seed"), params=("n",))
+
+
+def recursive_convolution_inputs(w: Sequence[float],
+                                 seeds: Sequence[float]) -> dict:
+    """``seed(m)`` returns ``y_m`` for ``m <= 0`` (``seeds[0] = y_0``,
+    ``seeds[1] = y_{-1}``, ...)."""
+    ws = list(w)
+    sd = list(seeds)
+
+    def w_in(k: int) -> float:
+        return ws[k - 1]
+
+    def seed(m: int) -> float:
+        if m > 0:
+            raise KeyError(f"seed index must be <= 0, got {m}")
+        return sd[-m]
+
+    return {"w": w_in, "seed": seed}

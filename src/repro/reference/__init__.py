@@ -1,0 +1,18 @@
+"""Sequential golden models the systolic designs are validated against."""
+
+from repro.reference.convolution import convolve, recursive_convolve
+from repro.reference.dp import (
+    dp_table,
+    matrix_chain,
+    min_plus_dp,
+    optimal_parenthesization,
+)
+
+__all__ = [
+    "convolve",
+    "dp_table",
+    "matrix_chain",
+    "min_plus_dp",
+    "optimal_parenthesization",
+    "recursive_convolve",
+]

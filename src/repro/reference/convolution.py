@@ -1,0 +1,44 @@
+"""Sequential reference for the convolution problems of Section II.C."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def convolve(x: Sequence[float], w: Sequence[float]) -> list[float]:
+    """``y_i = sum_{k=1..s} w_k * x_{i-k+1}`` with 1-based indexing and zero
+    padding (``x_m = 0`` for ``m < 1``); returns ``[y_1 .. y_n]``."""
+    n, s = len(x), len(w)
+    out = []
+    for i in range(1, n + 1):
+        acc = 0.0
+        for k in range(1, s + 1):
+            m = i - k + 1
+            if m >= 1:
+                acc += w[k - 1] * x[m - 1]
+        out.append(acc)
+    return out
+
+
+def recursive_convolve(w: Sequence[float], seeds: Sequence[float],
+                       n: int) -> list[float]:
+    """Recursive convolution (Example 2): ``y_i = sum_{k=1..s} w_k y_{i-k}``.
+
+    ``seeds`` supplies ``y_0, y_{-1}, ..., y_{1-s}`` (in that order);
+    returns ``[y_1 .. y_n]``."""
+    s = len(w)
+    if len(seeds) < s:
+        raise ValueError(f"need {s} seed values, got {len(seeds)}")
+
+    def y(m: int) -> float:
+        # m <= 0: seeds[-m] is y_m.
+        return seeds[-m]
+
+    out: list[float] = []
+    for i in range(1, n + 1):
+        acc = 0.0
+        for k in range(1, s + 1):
+            prev = i - k
+            acc += w[k - 1] * (out[prev - 1] if prev >= 1 else y(prev))
+        out.append(acc)
+    return out

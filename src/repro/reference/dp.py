@@ -1,0 +1,67 @@
+"""Sequential reference for the dynamic-programming recurrence (8).
+
+``c_{i,j} = min_{i<k<j} f(c_{i,k}, c_{k,j})`` with seeds ``c_{i,i+1}`` —
+the shape shared by optimal parenthesization and (interval) shortest path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def dp_table(n: int, seed: Callable[[int], object],
+             f: Callable, h: Callable = min) -> dict[tuple[int, int], object]:
+    """Evaluate recurrence (8): returns ``{(i, j): c_{i,j}}`` for
+    ``1 <= i < j <= n`` (including the seed diagonal ``j = i + 1``)."""
+    c: dict[tuple[int, int], object] = {}
+    for i in range(1, n):
+        c[(i, i + 1)] = seed(i)
+    for span in range(2, n):
+        for i in range(1, n - span + 1):
+            j = i + span
+            best = None
+            for k in range(i + 1, j):
+                value = f(c[(i, k)], c[(k, j)])
+                best = value if best is None else h(best, value)
+            c[(i, j)] = best
+    return c
+
+
+def min_plus_dp(weights: Sequence[float], n: int) -> dict[tuple[int, int], float]:
+    """Min-plus instance: ``f = +``, ``h = min``, seed ``c_{i,i+1} = w_i``."""
+    if len(weights) < n - 1:
+        raise ValueError(f"need {n - 1} seed weights, got {len(weights)}")
+    return dp_table(n, lambda i: weights[i - 1], lambda a, b: a + b, min)
+
+
+def matrix_chain(dims: Sequence[int]) -> dict[tuple[int, int], tuple]:
+    """Optimal parenthesization of a matrix chain via recurrence (8).
+
+    ``dims`` are the ``n`` boundary dimensions ``r_1 .. r_n`` of a chain of
+    ``n - 1`` matrices (matrix ``A_i`` is ``r_i x r_{i+1}``).  Values are
+    tuples ``(r_left, r_right, cost, tree)``; ``h`` minimises by
+    ``(cost, tree)`` so ties break deterministically.
+    """
+    n = len(dims)
+
+    def seed(i: int) -> tuple:
+        return (dims[i - 1], dims[i], 0, f"A{i}")
+
+    def f(left: tuple, right: tuple) -> tuple:
+        rl, rm, cl, tl = left
+        rm2, rr, cr, tr = right
+        assert rm == rm2, "inner dimensions must agree"
+        return (rl, rr, cl + cr + rl * rm * rr, f"({tl}*{tr})")
+
+    def h(a: tuple, b: tuple) -> tuple:
+        return min(a, b, key=lambda v: (v[2], v[3]))
+
+    return dp_table(n, seed, f, h)
+
+
+def optimal_parenthesization(dims: Sequence[int]) -> tuple[int, str]:
+    """(cost, parenthesisation) of the full chain."""
+    table = matrix_chain(dims)
+    n = len(dims)
+    _, _, cost, tree = table[(1, n)]
+    return cost, tree

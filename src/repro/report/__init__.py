@@ -1,0 +1,17 @@
+"""Reporting: design tables (Tables 1/2 style) and ASCII array figures
+(Figures 1/2 style)."""
+
+from repro.report.actions import action_profile, cell_actions, render_cell_actions
+from repro.report.figures import render_array, render_gantt
+from repro.report.tables import design_table, flow_table, module_table
+
+__all__ = [
+    "action_profile",
+    "cell_actions",
+    "design_table",
+    "flow_table",
+    "module_table",
+    "render_array",
+    "render_cell_actions",
+    "render_gantt",
+]

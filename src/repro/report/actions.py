@@ -1,0 +1,91 @@
+"""Per-cell action tables — the annotations of the paper's figures.
+
+"All cells are identical.  However, the action of a cell varies from time
+to time.  It does computation relative to module 1 or module 2 depending on
+the values of indices i, j, and k." (Section VI)
+
+:func:`cell_actions` computes, for each cell of a design, the timetable of
+module computations it performs; :func:`render_cell_actions` prints one
+cell's table in the style of the figure annotations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from repro.core.design import Design
+
+Cell = tuple[int, ...]
+
+
+def cell_actions(design: Design) -> dict[Cell, list[tuple[int, str, tuple[int, ...]]]]:
+    """``{cell: [(cycle, module, index_point), ...]}`` sorted by cycle.
+
+    A cell with entries from several modules at the same cycle performs a
+    *compound* action that cycle — the non-uniform behaviour the paper's
+    figures illustrate.
+    """
+    table: dict[Cell, list[tuple[int, str, tuple[int, ...]]]] = defaultdict(list)
+    for name in design.system.modules:
+        pts = design.module_points(name)
+        if pts.shape[0] == 0:
+            continue
+        times = design.schedules[name].times(pts)
+        cells = design.space_maps[name].cells(pts)
+        for point, t, cell in zip(pts, times, cells):
+            table[tuple(int(v) for v in cell)].append(
+                (int(t), name, tuple(int(v) for v in point)))
+    for actions in table.values():
+        actions.sort()
+    return dict(table)
+
+
+def action_profile(design: Design) -> dict[str, int]:
+    """Summary counters: how non-uniform is the design?
+
+    * ``cells`` — total cells;
+    * ``multi_module_cells`` — cells executing more than one module;
+    * ``compound_cycles`` — (cell, cycle) slots running several modules at
+      once;
+    * ``max_actions_per_cycle`` — the widest compound action.
+    """
+    table = cell_actions(design)
+    multi = 0
+    compound = 0
+    widest = 0
+    for actions in table.values():
+        modules = {m for _, m, _ in actions}
+        if len(modules) > 1:
+            multi += 1
+        per_cycle: dict[int, int] = defaultdict(int)
+        for t, _, _ in actions:
+            per_cycle[t] += 1
+        for count in per_cycle.values():
+            widest = max(widest, count)
+            if count > 1:
+                compound += 1
+    return {
+        "cells": len(table),
+        "multi_module_cells": multi,
+        "compound_cycles": compound,
+        "max_actions_per_cycle": widest,
+    }
+
+
+def render_cell_actions(design: Design, cell: Cell,
+                        max_rows: int = 30) -> str:
+    """One cell's timetable, figure-annotation style."""
+    table = cell_actions(design)
+    actions = table.get(tuple(cell))
+    if not actions:
+        return f"cell {tuple(cell)}: idle"
+    lines = [f"cell {tuple(cell)}:"]
+    by_cycle: dict[int, list[str]] = defaultdict(list)
+    for t, module, point in actions:
+        by_cycle[t].append(f"{module}{point}")
+    for t in sorted(by_cycle)[:max_rows]:
+        lines.append(f"  t={t:>3}: " + "  +  ".join(by_cycle[t]))
+    if len(by_cycle) > max_rows:
+        lines.append(f"  ... ({len(by_cycle) - max_rows} more cycles)")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""ASCII rendering of array layouts in the style of the paper's figures."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.design import Design
+
+
+def _tag(name: str) -> str:
+    """Short per-module marker: 'm1' -> '1', 'comb' -> 'c'."""
+    return name[-1] if name[:-1] and name[-1].isdigit() else name[0]
+
+
+def render_array(design: Design, mark_modules: bool = True) -> str:
+    """Draw the occupied cells of a (1-D or 2-D) design.
+
+    2-D: x grows rightwards, y grows upwards (matching the paper's figures).
+    Each cell shows the initials of the modules computing there — in figure 1
+    every cell runs both chains; in figure 2 the chains overlap on shared
+    cells but the region is the smaller staircase.
+    """
+    region = design.region()
+    if region.count == 0:
+        return "(empty array)"
+    owners: dict[tuple[int, ...], set[str]] = defaultdict(set)
+    for name in design.system.modules:
+        pts = design.module_points(name)
+        smap = design.space_maps[name]
+        if pts.shape[0] == 0:
+            continue
+        for cell in smap.cells(pts):
+            owners[tuple(int(v) for v in cell)].add(name)
+
+    if region.label_dim == 1:
+        (x_lo, x_hi), = region.bounding_box()
+        cells = []
+        for x in range(x_lo, x_hi + 1):
+            if (x,) in region:
+                tag = "".join(sorted(_tag(m) for m in owners[(x,)])) \
+                    if mark_modules else "#"
+                cells.append(f"[{tag:^3}]")
+            else:
+                cells.append("     ")
+        ruler = "  ".join(f"{x:^3}" for x in range(x_lo, x_hi + 1))
+        return " ".join(cells) + "\n " + ruler
+
+    (x_lo, x_hi), (y_lo, y_hi) = region.bounding_box()
+    lines = []
+    for y in range(y_hi, y_lo - 1, -1):
+        row = [f"{y:>3} "]
+        for x in range(x_lo, x_hi + 1):
+            if (x, y) in region:
+                tag = "".join(sorted({_tag(m) for m in owners[(x, y)]})) \
+                    if mark_modules else "#"
+                row.append(f"[{tag:^4}]")
+            else:
+                row.append("      ")
+        lines.append("".join(row))
+    footer = "    " + "".join(f"{x:^6}" for x in range(x_lo, x_hi + 1))
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_gantt(design: Design, module: str, max_rows: int = 24) -> str:
+    """Cell-occupancy timeline of one module: one row per cell, one column
+    per cycle; '*' marks a computation."""
+    pts = design.module_points(module)
+    sched = design.schedules[module]
+    smap = design.space_maps[module]
+    if pts.shape[0] == 0:
+        return "(empty module)"
+    times = sched.times(pts)
+    cells = smap.cells(pts)
+    t_lo, t_hi = int(times.min()), int(times.max())
+    by_cell: dict[tuple[int, ...], set[int]] = defaultdict(set)
+    for t, cell in zip(times, cells):
+        by_cell[tuple(int(v) for v in cell)].add(int(t))
+    lines = [f"module {module}: cycles {t_lo}..{t_hi}"]
+    for cell in sorted(by_cell)[:max_rows]:
+        marks = "".join("*" if t in by_cell[cell] else "."
+                        for t in range(t_lo, t_hi + 1))
+        lines.append(f"  {str(cell):>10} {marks}")
+    if len(by_cell) > max_rows:
+        lines.append(f"  ... ({len(by_cell) - max_rows} more cells)")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Rendering of design tables in the style of the paper's Tables 1 and 2."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.arrays.dataflow import Flow
+from repro.core.design import Design
+from repro.core.explore import ExploredDesign
+
+
+def _format_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [sep, fmt(headers), sep]
+    lines.extend(fmt(row) for row in rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def flow_table(flows: Mapping[str, Flow], title: str = "") -> str:
+    """One design's variable movements as a table row set."""
+    rows = [[var, f.describe(), str(f.dependence)]
+            for var, f in sorted(flows.items())]
+    table = _format_grid(["variable", "movement", "dependence"], rows)
+    return f"{title}\n{table}" if title else table
+
+
+def design_table(entries: Sequence[tuple[str, ExploredDesign]],
+                 title: str = "") -> str:
+    """The paper's Table 1/2 format: one named design per row, with the
+    movement of each stream."""
+    if not entries:
+        return f"{title}\n(no designs)"
+    variables = sorted(next(iter(entries))[1].flows)
+    headers = ["Design", "T", "makespan", "cells"] + [
+        f"{v} stream" for v in variables]
+    rows = []
+    for name, d in entries:
+        sched = next(iter(d.design.schedules.values()))
+        rows.append([name, str(sched.as_expr()), str(d.makespan),
+                     str(d.cells)] +
+                    [d.flows[v].describe() for v in variables])
+    table = _format_grid(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def module_table(design: Design, title: str = "") -> str:
+    """Per-module schedule/space summary of a multi-module design."""
+    rows = []
+    for name in design.system.modules:
+        rows.append([name,
+                     str(design.schedules[name].as_expr()),
+                     repr(design.space_maps[name])])
+    table = _format_grid(["module", "time function", "space map"], rows)
+    body = f"{title}\n{table}" if title else table
+    lo, hi = design.time_range()
+    return (f"{body}\ncells: {design.cell_count}   "
+            f"time: [{lo}, {hi}]   completion: {hi - lo}")

@@ -1,0 +1,34 @@
+"""Time functions: single-module optimal linear schedules (condition (1)) and
+joint multi-module scheduling under global constraints (Section V.A)."""
+
+from repro.schedule.constraints import GlobalConstraint
+from repro.schedule.linear import LinearSchedule
+from repro.schedule.multimodule import (
+    ModuleSchedulingProblem,
+    MultiScheduleSolution,
+    normalise_start,
+    solve_multimodule,
+)
+from repro.schedule.solver import (
+    NoScheduleExists,
+    ScheduleSolution,
+    fastest_free_schedule,
+    lp_lower_bound,
+    optimal_schedule,
+    valid_coefficient_vectors,
+)
+
+__all__ = [
+    "GlobalConstraint",
+    "LinearSchedule",
+    "ModuleSchedulingProblem",
+    "MultiScheduleSolution",
+    "NoScheduleExists",
+    "ScheduleSolution",
+    "fastest_free_schedule",
+    "lp_lower_bound",
+    "normalise_start",
+    "optimal_schedule",
+    "solve_multimodule",
+    "valid_coefficient_vectors",
+]

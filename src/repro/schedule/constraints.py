@@ -1,0 +1,57 @@
+"""Constraint objects shared by the multi-module time and space solvers.
+
+A *global constraint* stems from a link statement (the paper's A1–A5): for
+every instance of the link, the destination computation must happen at least
+``min_gap`` cycles after the source (Section V.A), and — for the space
+mapping — the two cells must be within link-distance of the time difference
+(Section V.B, constraint (10)).
+
+Instances are stored extensionally as parallel point arrays: row ``r`` of
+``dst_points`` / ``src_points`` is one (destination point, source point) pair
+in the respective modules' index spaces.  Enumerating instances keeps the
+solvers exact and is cheap at synthesis-time problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GlobalConstraint:
+    """One link statement's timing/adjacency requirements, enumerated."""
+
+    name: str
+    dst_module: str
+    src_module: str
+    dst_points: np.ndarray
+    src_points: np.ndarray
+    min_gap: int = 1
+
+    def __post_init__(self) -> None:
+        self.dst_points = np.asarray(self.dst_points, dtype=np.int64)
+        self.src_points = np.asarray(self.src_points, dtype=np.int64)
+        if self.dst_points.shape[0] != self.src_points.shape[0]:
+            raise ValueError(
+                f"constraint {self.name}: instance count mismatch "
+                f"({self.dst_points.shape[0]} vs {self.src_points.shape[0]})")
+
+    @property
+    def instances(self) -> int:
+        return self.dst_points.shape[0]
+
+    def gaps(self, dst_times: np.ndarray, src_times: np.ndarray) -> np.ndarray:
+        """Per-instance time differences ``t_dst - t_src``."""
+        return dst_times - src_times
+
+    def timing_ok(self, dst_times: np.ndarray, src_times: np.ndarray) -> bool:
+        if self.instances == 0:
+            return True
+        return bool(np.all(self.gaps(dst_times, src_times) >= self.min_gap))
+
+    def __repr__(self) -> str:
+        return (f"GlobalConstraint({self.name}: {self.src_module} -> "
+                f"{self.dst_module}, {self.instances} instances, "
+                f"gap >= {self.min_gap})")

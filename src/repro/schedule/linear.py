@@ -1,0 +1,88 @@
+"""Linear (affine) time functions.
+
+A :class:`LinearSchedule` is the paper's ``T : I^n -> Z`` restricted to the
+affine form ``T(x) = t . x + offset`` with integer coefficients.  Validity is
+condition (1): ``T(d) > 0`` for every dependence vector ``d`` — with integer
+data this is ``T(d) >= 1``.  The quality measure is the *total execution
+time*, "the difference between the maximum and minimum value of T" over the
+index set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.deps.vectors import DependenceMatrix
+from repro.ir.affine import AffineExpr, Number
+from repro.ir.indexset import Polyhedron
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """``T(x) = sum coeffs[k] * x[k] + offset`` over named dimensions."""
+
+    dims: tuple[str, ...]
+    coeffs: tuple[int, ...]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", tuple(self.dims))
+        object.__setattr__(self, "coeffs", tuple(int(c) for c in self.coeffs))
+        object.__setattr__(self, "offset", int(self.offset))
+        if len(self.dims) != len(self.coeffs):
+            raise ValueError("dims and coeffs must have equal length")
+
+    # -- evaluation ---------------------------------------------------------
+    def time(self, point: Sequence[int] | Mapping[str, Number]) -> int:
+        """Execution time of the computation at ``point``."""
+        if isinstance(point, Mapping):
+            values = [point[d] for d in self.dims]
+        else:
+            values = list(point)
+            if len(values) != len(self.dims):
+                raise ValueError(
+                    f"point arity {len(values)} != dims {len(self.dims)}")
+        return sum(c * int(v) for c, v in zip(self.coeffs, values)) + self.offset
+
+    def times(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised times for an (N, dim) integer array of points."""
+        pts = np.asarray(points, dtype=np.int64)
+        return pts @ np.array(self.coeffs, dtype=np.int64) + self.offset
+
+    def of_vector(self, d: Sequence[int]) -> int:
+        """``T(d)`` for a dependence vector (offset does not apply)."""
+        return sum(c * int(v) for c, v in zip(self.coeffs, d))
+
+    def as_expr(self) -> AffineExpr:
+        return AffineExpr.from_vector(self.dims, self.coeffs, self.offset)
+
+    def shifted(self, delta: int) -> "LinearSchedule":
+        return LinearSchedule(self.dims, self.coeffs, self.offset + delta)
+
+    # -- validity and quality -------------------------------------------------
+    def satisfies(self, deps: DependenceMatrix) -> bool:
+        """Condition (1): ``T(d) >= 1`` for every dependence vector."""
+        return all(self.of_vector(v.vector) >= 1 for v in deps.vectors)
+
+    def violated(self, deps: DependenceMatrix) -> list:
+        return [v for v in deps.vectors if self.of_vector(v.vector) < 1]
+
+    def makespan(self, domain: Polyhedron,
+                 params: Mapping[str, int]) -> int:
+        """Exact total execution time ``max T - min T`` over lattice points."""
+        lo, hi = self.time_range(domain, params)
+        return hi - lo
+
+    def time_range(self, domain: Polyhedron,
+                   params: Mapping[str, int]) -> tuple[int, int]:
+        """Exact (min, max) of T over the lattice points of the domain."""
+        times = [self.time(p) for p in domain.points(params)]
+        if not times:
+            raise ValueError("empty domain has no time range")
+        return min(times), max(times)
+
+    def __repr__(self) -> str:
+        return f"T{self.dims}={self.as_expr()}"

@@ -1,0 +1,143 @@
+"""Optimal linear schedule search for a single canonic-form module.
+
+System (1) — ``T(d) > 0`` for every dependence — "may have no solution or
+several solutions.  In this latter case, the one which minimizes the total
+execution time ... is chosen."  We solve it exactly by bounded enumeration of
+integer coefficient vectors with a deterministic tie-break, and cross-check
+optimality against an LP relaxation (:func:`lp_lower_bound`) built with
+scipy.  Bounded enumeration is exact for the coefficient magnitudes that
+matter: an optimal schedule of a system with unit-ish dependence vectors has
+small coefficients, and the bound is a caller-visible parameter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.deps.vectors import DependenceMatrix
+from repro.ir.indexset import Polyhedron
+from repro.schedule.linear import LinearSchedule
+
+
+class NoScheduleExists(Exception):
+    """System (1) has no solution within the search bound (or at all)."""
+
+
+@dataclass(frozen=True)
+class ScheduleSolution:
+    """The chosen schedule plus the quality landscape found by the search."""
+
+    schedule: LinearSchedule
+    makespan: int
+    optima: tuple[LinearSchedule, ...]      # all schedules achieving it
+    candidates_examined: int
+
+
+def valid_coefficient_vectors(deps: DependenceMatrix, dim: int,
+                              bound: int) -> Iterator[tuple[int, ...]]:
+    """All integer vectors in ``[-bound, bound]^dim`` with ``t . d >= 1`` for
+    every dependence vector ``d`` (excluding the zero vector trivially)."""
+    vectors = [v.vector for v in deps.vectors]
+    for coeffs in itertools.product(range(-bound, bound + 1), repeat=dim):
+        if all(sum(c * x for c, x in zip(coeffs, d)) >= 1 for d in vectors):
+            yield coeffs
+
+
+def optimal_schedule(deps: DependenceMatrix, domain: Polyhedron,
+                     params: Mapping[str, int], bound: int = 3
+                     ) -> ScheduleSolution:
+    """Exhaustively find the valid schedule minimising the makespan.
+
+    Ties are broken by smaller coefficient L1 norm, then lexicographically —
+    so the result is deterministic and matches the paper's "least integer
+    values" convention.
+    """
+    dims = domain.dims
+    points = np.array(list(domain.points(params)), dtype=np.int64)
+    if points.size == 0:
+        raise ValueError("cannot schedule an empty domain")
+    best: tuple | None = None
+    optima: list[LinearSchedule] = []
+    best_span: int | None = None
+    examined = 0
+    for coeffs in valid_coefficient_vectors(deps, len(dims), bound):
+        examined += 1
+        times = points @ np.array(coeffs, dtype=np.int64)
+        span = int(times.max() - times.min())
+        sched = LinearSchedule(dims, coeffs)
+        key = (span, sum(abs(c) for c in coeffs), coeffs)
+        if best is None or key < best:
+            best = key
+            if best_span is None or span < best_span:
+                optima = [sched]
+                best_span = span
+            else:
+                optima.insert(0, sched)
+        elif span == best_span:
+            optima.append(sched)
+    if best is None:
+        raise NoScheduleExists(
+            f"no valid schedule with coefficients in [-{bound}, {bound}] "
+            f"for dependencies {deps}")
+    chosen = LinearSchedule(dims, best[2])
+    return ScheduleSolution(chosen, best[0], tuple(optima), examined)
+
+
+def lp_lower_bound(deps: DependenceMatrix, domain: Polyhedron,
+                   params: Mapping[str, int]) -> float:
+    """LP-relaxation lower bound on the optimal makespan.
+
+    Variables: real coefficients ``t``, scalars ``M`` (max) and ``m`` (min).
+    Constraints: ``t . d >= 1`` for each dependence; ``m <= t . p <= M`` for
+    every lattice point ``p``.  Objective: minimise ``M - m``.  The integer
+    optimum found by :func:`optimal_schedule` can never beat this bound.
+    """
+    dims = domain.dims
+    ndim = len(dims)
+    points = np.array(list(domain.points(params)), dtype=np.float64)
+    n_pts = points.shape[0]
+    if n_pts == 0:
+        raise ValueError("empty domain")
+    # Variable layout: [t_1..t_ndim, M, m].
+    n_var = ndim + 2
+    c = np.zeros(n_var)
+    c[ndim] = 1.0      # +M
+    c[ndim + 1] = -1.0  # -m
+    A_ub = []
+    b_ub = []
+    for v in deps.vectors:
+        row = np.zeros(n_var)
+        row[:ndim] = -np.array(v.vector, dtype=np.float64)
+        A_ub.append(row)      # -t.d <= -1
+        b_ub.append(-1.0)
+    for p in points:
+        row = np.zeros(n_var)
+        row[:ndim] = p
+        row[ndim] = -1.0      # t.p - M <= 0
+        A_ub.append(row)
+        b_ub.append(0.0)
+        row2 = np.zeros(n_var)
+        row2[:ndim] = -p
+        row2[ndim + 1] = 1.0  # m - t.p <= 0
+        A_ub.append(row2)
+        b_ub.append(0.0)
+    res = linprog(c, A_ub=np.array(A_ub), b_ub=np.array(b_ub),
+                  bounds=[(None, None)] * n_var, method="highs")
+    if not res.success:
+        raise NoScheduleExists(f"LP relaxation infeasible: {res.message}")
+    return float(res.fun)
+
+
+def fastest_free_schedule(deps: DependenceMatrix, domain: Polyhedron,
+                          params: Mapping[str, int]) -> int:
+    """Data-flow-limited completion time (longest dependence chain length),
+    a lower bound no schedule — linear or not — can beat."""
+    from repro.deps.graph import critical_path_length, dependence_dag
+
+    dag = dependence_dag(domain, deps, params)
+    return critical_path_length(dag)

@@ -1,0 +1,161 @@
+"""Joint space mapping of a multi-module system (Section V.B).
+
+"Again, we look for separate solutions to the different modules in the
+algorithm subject to global constraints.  ...  if a global dependence
+involves two variables belonging to different modules which are computed at
+times t and t' with t - t' = d then the distance of the cells where the two
+variables will be mapped cannot be more than d."
+
+The solver backtracks over modules; per module the locally feasible space
+maps come from :func:`repro.space.allocation.enumerate_space_maps`, and each
+global constraint is checked (vectorised, with memoised link-distance
+queries) as soon as both endpoints are mapped.  The objective is the total
+number of distinct cells — the paper's Section VI motivation for the new
+design is exactly processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.deps.vectors import DependenceMatrix
+from repro.schedule.constraints import GlobalConstraint
+from repro.schedule.linear import LinearSchedule
+from repro.space.allocation import (
+    SpaceMap,
+    cells_used,
+    entry_preference,
+    enumerate_space_maps,
+)
+from repro.space.diophantine import LinkDecomposer
+
+
+class NoSpaceMapExists(Exception):
+    """No joint allocation satisfies the local and global constraints."""
+
+
+@dataclass
+class ModuleSpaceProblem:
+    """Allocation view of one module."""
+
+    name: str
+    dims: tuple[str, ...]
+    deps: DependenceMatrix | None
+    points: np.ndarray
+    schedule: LinearSchedule
+    bound: int = 1
+    offsets: Sequence[int] = (0,)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class MultiSpaceSolution:
+    maps: dict[str, SpaceMap]
+    total_cells: int
+    candidates_examined: int
+
+
+def adjacency_ok(gc: GlobalConstraint,
+                 dst_sched: LinearSchedule, src_sched: LinearSchedule,
+                 dst_map: SpaceMap, src_map: SpaceMap,
+                 decomposer: LinkDecomposer) -> bool:
+    """Check constraint (10) for every enumerated instance of a link."""
+    if gc.instances == 0:
+        return True
+    dst_t = dst_sched.times(gc.dst_points)
+    src_t = src_sched.times(gc.src_points)
+    gaps = dst_t - src_t
+    dst_c = dst_map.cells(gc.dst_points)
+    src_c = src_map.cells(gc.src_points)
+    disp = dst_c - src_c
+    # Deduplicate (displacement, gap) pairs before the BFS distance queries.
+    stamped = np.column_stack([disp, gaps])
+    for row in np.unique(stamped, axis=0):
+        displacement = tuple(int(v) for v in row[:-1])
+        budget = int(row[-1])
+        if not decomposer.reachable_within(displacement, budget):
+            return False
+    return True
+
+
+def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
+                            constraints: Sequence[GlobalConstraint],
+                            decomposer: LinkDecomposer,
+                            label_dim: int) -> MultiSpaceSolution:
+    """Find the joint allocation minimising total distinct cells.
+
+    Deterministic: candidates enumerate in a fixed order and ties break on
+    the lexicographically smallest concatenated matrices.
+    """
+    order = list(problems)
+    by_name = {p.name: p for p in order}
+    position = {p.name: idx for idx, p in enumerate(order)}
+    check_at: dict[int, list[GlobalConstraint]] = {}
+    for gc in constraints:
+        if gc.dst_module not in by_name or gc.src_module not in by_name:
+            raise KeyError(f"constraint {gc.name} references unknown module")
+        at = max(position[gc.dst_module], position[gc.src_module])
+        check_at.setdefault(at, []).append(gc)
+
+    candidate_lists: dict[str, list[SpaceMap]] = {}
+    for p in order:
+        cands = list(enumerate_space_maps(
+            p.dims, label_dim, p.deps, p.schedule, decomposer, p.points,
+            bound=p.bound, offsets=p.offsets))
+        if not cands:
+            raise NoSpaceMapExists(
+                f"module {p.name}: no locally feasible space map "
+                f"(bound={p.bound}, offsets={tuple(p.offsets)})")
+        candidate_lists[p.name] = cands
+
+    best_key: tuple | None = None
+    best_assignment: dict[str, SpaceMap] | None = None
+    examined = 0
+    assignment: dict[str, SpaceMap] = {}
+
+    def flat_key(assigned: Mapping[str, SpaceMap]) -> tuple:
+        return tuple(
+            entry_preference(entry)
+            for p in order
+            for row, off in zip(assigned[p.name].matrix,
+                                assigned[p.name].offset)
+            for entry in row + (off,))
+
+    def recurse(idx: int) -> None:
+        nonlocal best_key, best_assignment, examined
+        if idx == len(order):
+            examined += 1
+            all_cells: set[tuple[int, ...]] = set()
+            for p in order:
+                all_cells |= cells_used(assignment[p.name], p.points)
+            key = (len(all_cells), flat_key(assignment))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_assignment = dict(assignment)
+            return
+        prob = order[idx]
+        for cand in candidate_lists[prob.name]:
+            assignment[prob.name] = cand
+            ok = True
+            for gc in check_at.get(idx, []):
+                dst_p = by_name[gc.dst_module]
+                src_p = by_name[gc.src_module]
+                if not adjacency_ok(gc, dst_p.schedule, src_p.schedule,
+                                    assignment[gc.dst_module],
+                                    assignment[gc.src_module], decomposer):
+                    ok = False
+                    break
+            if ok:
+                recurse(idx + 1)
+        assignment.pop(prob.name, None)
+
+    recurse(0)
+    if best_assignment is None:
+        raise NoSpaceMapExists(
+            "no joint space mapping satisfies the global adjacency constraints")
+    return MultiSpaceSolution(best_assignment, best_key[0], examined)

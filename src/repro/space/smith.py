@@ -1,0 +1,204 @@
+"""Hermite and Smith normal forms over the integers.
+
+The space-mapping condition (3) ``S D = Δ K`` is a system of linear
+*diophantine* equations; their solvability theory rests on these normal
+forms.  Both are computed with exact integer arithmetic (Python ints — no
+overflow) and return the unimodular transforms, so callers can parameterise
+full solution sets and tests can verify ``U A V = smith`` and
+``|det U| = |det V| = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_int_matrix(A) -> np.ndarray:
+    M = np.array(A, dtype=object)
+    if M.ndim != 2:
+        raise ValueError("expected a matrix")
+    out = np.empty(M.shape, dtype=object)
+    for i in range(M.shape[0]):
+        for j in range(M.shape[1]):
+            v = M[i, j]
+            iv = int(v)
+            if iv != v:
+                raise ValueError(f"non-integer entry {v!r}")
+            out[i, j] = iv
+    return out
+
+
+def _identity(n: int) -> np.ndarray:
+    I = np.zeros((n, n), dtype=object)
+    for i in range(n):
+        I[i, i] = 1
+    return I
+
+
+def det(A) -> int:
+    """Exact integer determinant (fraction-free Bareiss elimination)."""
+    M = _as_int_matrix(A)
+    n, m = M.shape
+    if n != m:
+        raise ValueError("determinant of a non-square matrix")
+    if n == 0:
+        return 1
+    M = M.copy()
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if M[k, k] == 0:
+            pivot = next((r for r in range(k + 1, n) if M[r, k] != 0), None)
+            if pivot is None:
+                return 0
+            M[[k, pivot]] = M[[pivot, k]]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                M[i, j] = (M[i, j] * M[k, k] - M[i, k] * M[k, j]) // prev
+        prev = M[k, k]
+    return sign * int(M[n - 1, n - 1])
+
+
+def hermite_normal_form(A) -> tuple[np.ndarray, np.ndarray]:
+    """Column-style Hermite normal form: returns ``(H, V)`` with
+    ``A V = H``, ``V`` unimodular, ``H`` lower-triangular with non-negative
+    entries and each row's pivot strictly dominating the entries to its right
+    (here: to its left, column style).
+    """
+    A = _as_int_matrix(A)
+    m, n = A.shape
+    H = A.copy()
+    V = _identity(n)
+
+    row = 0
+    col = 0
+    while row < m and col < n:
+        # Find a non-zero entry in this row at/after `col`.
+        pivots = [j for j in range(col, n) if H[row, j] != 0]
+        if not pivots:
+            row += 1
+            continue
+        # Euclidean reduction across columns until one non-zero remains.
+        while len(pivots) > 1:
+            pivots.sort(key=lambda j: abs(H[row, j]))
+            j0 = pivots[0]
+            for j in pivots[1:]:
+                q = H[row, j] // H[row, j0]
+                H[:, j] -= q * H[:, j0]
+                V[:, j] -= q * V[:, j0]
+            pivots = [j for j in range(col, n) if H[row, j] != 0]
+        j0 = pivots[0]
+        if j0 != col:
+            H[:, [col, j0]] = H[:, [j0, col]]
+            V[:, [col, j0]] = V[:, [j0, col]]
+        if H[row, col] < 0:
+            H[:, col] = -H[:, col]
+            V[:, col] = -V[:, col]
+        # Reduce earlier columns modulo the pivot.
+        for j in range(col):
+            q = H[row, j] // H[row, col]
+            H[:, j] -= q * H[:, col]
+            V[:, j] -= q * V[:, col]
+        row += 1
+        col += 1
+    return H, V
+
+
+def smith_normal_form(A) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Smith normal form: returns ``(U, D, V)`` with ``U A V = D`` diagonal,
+    ``U``, ``V`` unimodular and each diagonal entry dividing the next."""
+    A = _as_int_matrix(A)
+    m, n = A.shape
+    D = A.copy()
+    U = _identity(m)
+    V = _identity(n)
+
+    def min_nonzero(t: int):
+        best = None
+        for i in range(t, m):
+            for j in range(t, n):
+                if D[i, j] != 0 and (best is None
+                                     or abs(D[i, j]) < abs(D[best[0], best[1]])):
+                    best = (i, j)
+        return best
+
+    t = 0
+    while t < min(m, n):
+        pos = min_nonzero(t)
+        if pos is None:
+            break
+        i0, j0 = pos
+        D[[t, i0]] = D[[i0, t]]
+        U[[t, i0]] = U[[i0, t]]
+        D[:, [t, j0]] = D[:, [j0, t]]
+        V[:, [t, j0]] = V[:, [j0, t]]
+        # Eliminate the rest of row t and column t.
+        dirty = True
+        while dirty:
+            dirty = False
+            for i in range(t + 1, m):
+                if D[i, t] != 0:
+                    q = D[i, t] // D[t, t]
+                    D[i, :] -= q * D[t, :]
+                    U[i, :] -= q * U[t, :]
+                    if D[i, t] != 0:
+                        D[[t, i]] = D[[i, t]]
+                        U[[t, i]] = U[[i, t]]
+                        dirty = True
+            for j in range(t + 1, n):
+                if D[t, j] != 0:
+                    q = D[t, j] // D[t, t]
+                    D[:, j] -= q * D[:, t]
+                    V[:, j] -= q * V[:, t]
+                    if D[t, j] != 0:
+                        D[:, [t, j]] = D[:, [j, t]]
+                        V[:, [t, j]] = V[:, [j, t]]
+                        dirty = True
+        if D[t, t] < 0:
+            D[t, :] = -D[t, :]
+            U[t, :] = -U[t, :]
+        t += 1
+
+    # Enforce the divisibility chain d_k | d_{k+1}.
+    k = 0
+    while k < min(m, n) - 1:
+        a, b = int(D[k, k]), int(D[k + 1, k + 1])
+        if a != 0 and b % a != 0:
+            # Standard trick: add column k+1 to column k, then re-reduce.
+            D[:, k] += D[:, k + 1]
+            V[:, k] += V[:, k + 1]
+            U2, D2, V2 = smith_normal_form(D)
+            return U2 @ U, D2, V @ V2
+        k += 1
+    return U, D, V
+
+
+def int_rank(A) -> int:
+    """Exact rank of an integer matrix (fraction-free elimination)."""
+    M = _as_int_matrix(A).copy()
+    m, n = M.shape
+    rank = 0
+    row = 0
+    for col in range(n):
+        pivot = next((r for r in range(row, m) if M[r, col] != 0), None)
+        if pivot is None:
+            continue
+        M[[row, pivot]] = M[[pivot, row]]
+        for r in range(row + 1, m):
+            if M[r, col] != 0:
+                # Fraction-free row elimination.
+                M[r, :] = M[r, :] * M[row, col] - M[row, :] * M[r, col]
+        rank += 1
+        row += 1
+        if row == m:
+            break
+    return rank
+
+
+def is_unimodular(M) -> bool:
+    """True iff ``M`` is square, integral, with determinant ±1."""
+    M = _as_int_matrix(M)
+    if M.shape[0] != M.shape[1]:
+        return False
+    return abs(det(M)) == 1

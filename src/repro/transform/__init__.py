@@ -1,0 +1,31 @@
+"""Algorithm transformations (Section II.C): adding indices, introducing
+pipelining variables, eliminating broadcasts, and choosing accumulation
+directions — deriving canonic-form recurrences from natural broadcast-form
+statements."""
+
+from repro.transform.catalog import (
+    convolution_reduction,
+    convolution_transform_inputs,
+    matvec_reduction,
+    matvec_transform_inputs,
+)
+from repro.transform.reductions import (
+    TransformError,
+    WeightedReduction,
+    build_recurrence,
+    fused,
+)
+from repro.transform.streams import StreamSpec, propagation_direction
+
+__all__ = [
+    "StreamSpec",
+    "TransformError",
+    "WeightedReduction",
+    "build_recurrence",
+    "convolution_reduction",
+    "convolution_transform_inputs",
+    "fused",
+    "matvec_reduction",
+    "matvec_transform_inputs",
+    "propagation_direction",
+]

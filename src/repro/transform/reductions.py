@@ -1,0 +1,163 @@
+"""Derivation of canonic-form accumulation recurrences (Section II.C).
+
+A :class:`WeightedReduction` states a problem in its natural broadcast form::
+
+    y_i = reduce_{k = lo..hi} combine of term(in_1[e_1(i,k)], in_2[e_2(i,k)], ...)
+
+(for convolution: ``y_i = sum_k w[k] * x[i-k+1]``).  :func:`build_recurrence`
+performs the paper's three transformations automatically:
+
+1. **add indices** — every stream becomes a 2-index array variable;
+2. **introduce new variables / eliminate broadcast** — each stream is
+   pipelined along its :func:`propagation_direction`; the accumulator ``y``
+   gets a chain along ``k``;
+3. **choose an index transformation** — ``direction="backward"`` accumulates
+   with k increasing (the paper's recurrence (4)); ``"forward"`` with k
+   decreasing (recurrence (5)).
+
+The generated systems are semantically identical to the hand-written ones in
+:mod:`repro.problems.convolution` (tested), and the same machinery derives
+matrix-vector product and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.ir.affine import AffineExpr, var
+from repro.ir.indexset import Polyhedron, eq, ge, le
+from repro.ir.ops import IDENTITY, Op, make_op
+from repro.ir.predicates import Predicate, TRUE, at_least
+from repro.ir.program import Module, OutputSpec, RecurrenceSystem
+from repro.ir.statements import ComputeRule, Equation, InputRule
+from repro.ir.variables import Ref
+from repro.transform.streams import StreamSpec, propagation_direction
+
+
+class TransformError(Exception):
+    """The reduction's shape defeats the automatic transformations."""
+
+
+@dataclass(frozen=True)
+class WeightedReduction:
+    """A broadcast-form reduction over a rectangular 2-index domain.
+
+    ``dims = (outer, inner)``: the outer index enumerates outputs, the inner
+    one the reduction.  Bounds are symbolic parameters (inclusive).
+    """
+
+    name: str
+    dims: tuple[str, str]
+    outer_range: tuple[AffineExpr, AffineExpr]
+    inner_range: tuple[AffineExpr, AffineExpr]
+    streams: tuple[StreamSpec, ...]
+    term: Op
+    combine: Op
+    params: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.term.arity != len(self.streams):
+            raise ValueError("term arity must equal the number of streams")
+        if self.combine.arity != 2:
+            raise ValueError("combine must be binary")
+
+    def domain(self) -> Polyhedron:
+        outer, inner = self.dims
+        return Polyhedron(
+            self.dims,
+            [ge(var(outer), self.outer_range[0]),
+             le(var(outer), self.outer_range[1]),
+             ge(var(inner), self.inner_range[0]),
+             le(var(inner), self.inner_range[1])],
+            self.params)
+
+
+def fused(combine: Op, term: Op) -> Op:
+    return make_op(f"{combine.name}_after_{term.name}", term.arity + 1,
+                   lambda acc, *xs: combine.fn(acc, term.fn(*xs)))
+
+
+def _conjunction(exprs) -> Predicate:
+    pred = TRUE
+    for e in exprs:
+        if e.is_constant():
+            if e.const_term < 0:
+                raise TransformError(f"unsatisfiable guard {e} >= 0")
+            continue
+        pred = pred & at_least(e, 0)
+    return pred
+
+
+def _stream_equation(reduction: WeightedReduction, stream: StreamSpec,
+                     domain: Polyhedron) -> Equation:
+    dims = reduction.dims
+    d = propagation_direction(stream, dims)
+    if d is None:
+        # Each host element is consumed at exactly one point: plain input.
+        return Equation(stream.name,
+                        (InputRule(stream.name, stream.host_index),))
+    shift = {name: var(name) - delta
+             for name, delta in zip(dims, d) if delta != 0}
+    interior = _conjunction([e.substitute(shift) for e in domain.constraints])
+    pred_ref = Ref(stream.name,
+                   tuple(var(n) - delta for n, delta in zip(dims, d)))
+    return Equation(stream.name, (
+        ComputeRule(IDENTITY, (pred_ref,), guard=interior),
+        InputRule(stream.name, stream.host_index),
+    ))
+
+
+def build_recurrence(reduction: WeightedReduction,
+                     direction: Literal["backward", "forward"] = "backward"
+                     ) -> RecurrenceSystem:
+    """Derive the canonic-form system for one accumulation direction.
+
+    ``backward`` accumulates with the inner index increasing (output at the
+    upper bound) — the paper's recurrence (4) for convolution; ``forward``
+    with it decreasing (output at the lower bound) — recurrence (5).
+    """
+    outer, inner = reduction.dims
+    domain = reduction.domain()
+    equations = [
+        _stream_equation(reduction, s, domain) for s in reduction.streams]
+
+    inner_var = var(inner)
+    if direction == "backward":
+        first_guard_bound = reduction.inner_range[0]
+        prev_index = inner_var - 1
+        first_pred = _conjunction([inner_var - 1 - first_guard_bound])
+        out_at = reduction.inner_range[1]
+    elif direction == "forward":
+        first_guard_bound = reduction.inner_range[1]
+        prev_index = inner_var + 1
+        first_pred = _conjunction([first_guard_bound - 1 - inner_var])
+        out_at = reduction.inner_range[0]
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+
+    stream_refs = tuple(
+        Ref(s.name, (var(outer), inner_var)) for s in reduction.streams)
+    acc_name = "y"
+    if any(s.name == acc_name for s in reduction.streams):
+        acc_name = "__acc"
+    acc = Equation(acc_name, (
+        ComputeRule(fused(reduction.combine, reduction.term),
+                    (Ref(acc_name, (var(outer), prev_index)),) + stream_refs,
+                    guard=first_pred),
+        ComputeRule(reduction.term, stream_refs, guard=TRUE),
+    ))
+    module = Module(reduction.name, reduction.dims, domain,
+                    equations + [acc])
+    out_domain = Polyhedron(
+        reduction.dims,
+        [ge(var(outer), reduction.outer_range[0]),
+         le(var(outer), reduction.outer_range[1]),
+         *eq(inner_var, out_at)],
+        reduction.params)
+    return RecurrenceSystem(
+        f"{reduction.name}-{direction}", [module],
+        outputs=[OutputSpec(reduction.name, acc_name, out_domain,
+                            (var(outer),))],
+        input_names=tuple(s.name for s in reduction.streams),
+        params=reduction.params)

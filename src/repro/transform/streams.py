@@ -1,0 +1,83 @@
+"""Input streams and the pipelining (broadcast-elimination) analysis.
+
+Section II.C: "The goal of such transformations is to enhance pipelining and
+local communication in an algorithm.  This is accomplished by (i) adding
+indices to existing variables, (ii) renaming variables, or (iii) introducing
+new variables."
+
+A :class:`StreamSpec` describes how an input variable is consumed by the
+computation at each index point: ``host_index`` gives, per point, which host
+element is read.  Broadcast elimination finds a *propagation direction* — a
+lattice direction along which the consumed element does not change — so the
+value can travel cell to cell instead of being broadcast: for convolution,
+``w_k`` is constant along ``(1, 0)`` and ``x_{i-k+1}`` along ``(1, 1)``,
+which is precisely how recurrences (4)/(5) pipeline them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.affine import AffineExpr
+from repro.space.diophantine import solve_integer_system
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One input variable: name + host index map over the loop dims."""
+
+    name: str
+    host_index: tuple[AffineExpr, ...]
+
+    def coefficient_matrix(self, dims: Sequence[str]) -> np.ndarray:
+        """Rows = host coordinates, columns = loop dims."""
+        rows = []
+        for e in self.host_index:
+            rows.append([int(e.coeff(d)) for d in dims])
+        return np.array(rows, dtype=object)
+
+
+def _primitive(vector: Sequence[int]) -> tuple[int, ...]:
+    g = 0
+    for v in vector:
+        g = gcd(g, abs(int(v)))
+    if g == 0:
+        return tuple(int(v) for v in vector)
+    reduced = [int(v) // g for v in vector]
+    # Canonical sign: first non-zero component positive.
+    for v in reduced:
+        if v != 0:
+            if v < 0:
+                reduced = [-u for u in reduced]
+            break
+    return tuple(reduced)
+
+
+def propagation_direction(stream: StreamSpec,
+                          dims: Sequence[str]) -> tuple[int, ...] | None:
+    """A primitive lattice direction along which the stream's host element
+    is invariant, or ``None`` when no such direction exists (the value is
+    used at a single point per host element and needs no pipelining).
+
+    Solves the integer null space of the host-index coefficient matrix and
+    returns the first (preference-ordered) primitive generator.
+    """
+    A = stream.coefficient_matrix(dims)
+    zero = np.zeros(A.shape[0], dtype=object)
+    solution = solve_integer_system(A, zero)
+    if solution is None:
+        return None
+    _, N = solution
+    if N.shape[1] == 0:
+        return None
+    candidates = [
+        _primitive([int(v) for v in N[:, k]]) for k in range(N.shape[1])]
+    candidates = [c for c in candidates if any(v != 0 for v in c)]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda c: (sum(abs(v) for v in c), c))
+    return candidates[0]

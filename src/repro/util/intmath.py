@@ -1,0 +1,109 @@
+"""Exact integer arithmetic helpers used by the scheduling and allocation
+solvers.
+
+Everything in this module works on plain Python ints or integer NumPy arrays;
+no floating point is used anywhere so results are exact.  The synthesis
+procedure of the paper manipulates small integer matrices (dependence
+matrices, transformation matrices, interconnection matrices), for which exact
+arithmetic is essential: a schedule that is off by one is not a schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y = g``.
+
+    The returned ``g`` is non-negative; ``extended_gcd(0, 0)`` has ``g = 0``.
+    """
+    old_r, r = int(a), int(b)
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; ``lcm(0, x) == 0``."""
+    a, b = abs(int(a)), abs(int(b))
+    if a == 0 or b == 0:
+        return 0
+    return a // math.gcd(a, b) * b
+
+
+def gcd_vector(values) -> int:
+    """Non-negative gcd of an iterable of integers (0 for an empty/zero set)."""
+    g = 0
+    for v in values:
+        g = math.gcd(g, int(v))
+    return g
+
+
+def is_integer_matrix(mat) -> bool:
+    """True if every entry of ``mat`` is (exactly) an integer."""
+    arr = np.asarray(mat)
+    if arr.size == 0:
+        return True
+    if np.issubdtype(arr.dtype, np.integer):
+        return True
+    return bool(np.all(arr == np.round(arr)))
+
+
+def integer_solve(A, b) -> np.ndarray | None:
+    """Solve ``A @ x = b`` for an *integer* vector ``x``, or return ``None``.
+
+    ``A`` is an integer matrix (m x n) and ``b`` an integer vector (m).  Uses
+    exact fraction Gaussian elimination followed by an integrality check of
+    the particular solution; suitable for the small systems produced by the
+    space-mapping equations (3) of the paper.  When the system is
+    under-determined a particular solution with free variables fixed to zero
+    is returned (if integral).
+    """
+    A = np.asarray(A, dtype=object)
+    b = np.asarray(b, dtype=object).reshape(-1)
+    if A.ndim != 2:
+        raise ValueError("A must be a matrix")
+    m, n = A.shape
+    if b.shape[0] != m:
+        raise ValueError("dimension mismatch between A and b")
+    # Exact row reduction over the rationals.
+    M = [[Fraction(int(A[i, j])) for j in range(n)] + [Fraction(int(b[i]))]
+         for i in range(m)]
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(n):
+        pivot = next((r for r in range(row, m) if M[r][col] != 0), None)
+        if pivot is None:
+            continue
+        M[row], M[pivot] = M[pivot], M[row]
+        pv = M[row][col]
+        M[row] = [entry / pv for entry in M[row]]
+        for r in range(m):
+            if r != row and M[r][col] != 0:
+                factor = M[r][col]
+                M[r] = [er - factor * epr for er, epr in zip(M[r], M[row])]
+        pivot_cols.append(col)
+        row += 1
+        if row == m:
+            break
+    # Inconsistency check: zero row with non-zero rhs.
+    for r in range(row, m):
+        if M[r][n] != 0:
+            return None
+    x = [Fraction(0)] * n
+    for r, col in enumerate(pivot_cols):
+        x[col] = M[r][n]
+    if any(value.denominator != 1 for value in x):
+        return None
+    return np.array([int(value) for value in x], dtype=np.int64)

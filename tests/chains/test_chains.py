@@ -1,0 +1,177 @@
+"""Chain machinery: >_T, greedy decomposition, symbolic split, Dilworth."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chains import (
+    AvailabilityOrder,
+    ChainDecompositionError,
+    greedy_chains,
+    minimum_chain_decomposition,
+    symbolic_chains,
+    width,
+)
+from repro.problems import dp_spec
+from repro.schedule import LinearSchedule
+
+COARSE = LinearSchedule(("i", "j"), (-1, 1))
+
+
+def order_at(i, j):
+    return AvailabilityOrder(dp_spec(), COARSE, (i, j))
+
+
+class TestAvailabilityOrder:
+    def test_availability_values(self):
+        o = order_at(2, 8)
+        # avail(k) = max(k - i, j - k).
+        assert o.availability(5) == 3
+        assert o.availability(3) == 5
+        assert o.availability(7) == 5
+
+    def test_minimal_elements_even(self):
+        """(i+j) even: single minimal element k = (i+j)/2."""
+        assert order_at(2, 8).minimal_elements() == [5]
+
+    def test_minimal_elements_odd(self):
+        """(i+j) odd: two minimal elements (i+j∓1)/2."""
+        assert order_at(2, 7).minimal_elements() == [4, 5]
+
+    def test_greater_and_comparable(self):
+        o = order_at(2, 8)
+        assert o.greater(3, 5)
+        assert not o.greater(5, 3)
+        assert not o.comparable(4, 6)  # equal availability
+
+
+class TestGreedyChains:
+    def test_even_split(self):
+        chains = greedy_chains(order_at(2, 8))
+        assert [c.ks for c in chains] == [[5, 4, 3], [6, 7]]
+
+    def test_odd_split(self):
+        chains = greedy_chains(order_at(2, 7))
+        assert [c.ks for c in chains] == [[4, 3], [5, 6]]
+
+    def test_single_k(self):
+        chains = greedy_chains(order_at(2, 4))
+        assert [c.ks for c in chains] == [[3]]
+
+    def test_directions(self):
+        chains = greedy_chains(order_at(1, 9))
+        assert chains[0].direction == "desc"
+        assert chains[1].direction == "asc"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 10), st.integers(2, 12))
+    def test_partition_and_monotone(self, i, span):
+        """Chains partition the k-range; each chain is k-monotone with
+        strictly increasing availability."""
+        j = i + span
+        o = order_at(i, j)
+        chains = greedy_chains(o)
+        all_ks = sorted(k for c in chains for k in c.ks)
+        assert all_ks == list(range(i + 1, j))
+        for c in chains:
+            avails = [o.availability(k) for k in c.ks]
+            assert avails == sorted(avails)
+            assert len(set(avails)) == len(avails)
+            diffs = [b - a for a, b in zip(c.ks, c.ks[1:])]
+            assert all(d > 0 for d in diffs) or all(d < 0 for d in diffs) \
+                or not diffs
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 10), st.integers(2, 12))
+    def test_greedy_is_minimal(self, i, span):
+        """The paper's greedy construction matches the Dilworth minimum."""
+        j = i + span
+        o = order_at(i, j)
+        chains = greedy_chains(o)
+        ks = o.k_values()
+        assert len(chains) == width(ks, o.greater)
+
+
+class TestSymbolicChains:
+    def test_dp_split_point(self):
+        chains = symbolic_chains(dp_spec(), COARSE)
+        assert len(chains) == 2
+        assert chains[0].order == "desc"
+        assert chains[1].order == "asc"
+        # floor((i+j)/2) down to i+1; floor((i+j)/2)+1 up to j-1.
+        b = {"i": 3, "j": 9}
+        assert chains[0].concrete(b) == [6, 5, 4]
+        assert chains[1].concrete(b) == [7, 8]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 9), st.integers(2, 10))
+    def test_symbolic_matches_greedy(self, i, span):
+        j = i + span
+        chains = symbolic_chains(dp_spec(), COARSE)
+        greedy = greedy_chains(order_at(i, j))
+        b = {"i": i, "j": j}
+        symbolic = [c.concrete(b) for c in chains if c.concrete(b)]
+        assert symbolic == [c.ks for c in greedy]
+
+    def test_monotone_spec_single_chain(self):
+        """A one-argument spec whose availability grows with k: one chain."""
+        from repro.ir import ArgSpec, HighLevelSpec, MIN, MIN_PLUS, Polyhedron
+
+        spec = HighLevelSpec(
+            name="mono", dims=("i", "j"),
+            domain=dp_spec().domain, target="c", reduction_index="k",
+            k_lower=dp_spec().k_lower, k_upper=dp_spec().k_upper,
+            body=MIN_PLUS, combine=MIN,
+            args=(ArgSpec(1, (0, 0)), ArgSpec(1, (0, 1))),
+            init_domain=dp_spec().init_domain, init_input="c0",
+            params=("n",))
+        chains = symbolic_chains(spec, COARSE)
+        assert len(chains) == 1
+        assert chains[0].order == "asc"
+
+
+class TestDilworth:
+    def test_total_order_is_one_chain(self):
+        chains = minimum_chain_decomposition(
+            [1, 2, 3, 4], lambda a, b: a < b)
+        assert len(chains) == 1
+        assert chains[0] == [1, 2, 3, 4]
+
+    def test_antichain(self):
+        chains = minimum_chain_decomposition(
+            ["a", "b", "c"], lambda a, b: False)
+        assert len(chains) == 3
+
+    def test_empty(self):
+        assert minimum_chain_decomposition([], lambda a, b: True) == []
+
+    def test_chains_are_chains(self):
+        import random
+
+        rng = random.Random(0)
+        values = [(rng.randint(0, 5), rng.randint(0, 5)) for _ in range(12)]
+
+        def lt(a, b):
+            return a[0] <= b[0] and a[1] <= b[1] and a != b
+
+        chains = minimum_chain_decomposition(values, lt)
+        assert sorted(v for c in chains for v in c) == sorted(values)
+        for c in chains:
+            for a, b in zip(c, c[1:]):
+                assert lt(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)),
+                    min_size=1, max_size=14, unique=True))
+    def test_width_equals_max_antichain_lower_bound(self, values):
+        def lt(a, b):
+            return a[0] <= b[0] and a[1] <= b[1] and a != b
+
+        w = width(values, lt)
+        # Mirsky-style sanity: a maximum antichain cannot exceed the number
+        # of chains — check with a greedy antichain.
+        antichain = []
+        for v in sorted(values):
+            if all(not lt(a, v) and not lt(v, a) for a in antichain):
+                antichain.append(v)
+        assert w >= len(antichain)

@@ -1,0 +1,53 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSynthesize:
+    def test_dp_fig1(self, capsys):
+        assert main(["synthesize", "--problem", "dp",
+                     "--interconnect", "fig1", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "m1" in out and "cells" in out
+
+    def test_conv_with_verify(self, capsys):
+        assert main(["synthesize", "--problem", "conv-backward",
+                     "--n", "8", "--s", "3",
+                     "--interconnect", "linear", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "machine:" in out
+
+    def test_unknown_interconnect(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--interconnect", "warp-drive"])
+
+
+class TestExplore:
+    def test_backward_table(self, capsys):
+        assert main(["explore", "--recurrence", "backward",
+                     "--n", "10", "--s", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "W2" in out and "W1" not in out
+
+    def test_forward_table(self, capsys):
+        assert main(["explore", "--recurrence", "forward",
+                     "--n", "10", "--s", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "W1" in out and "R2" in out
+
+
+class TestFigures:
+    def test_both_arrays(self, capsys):
+        assert main(["figures", "--n", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig2" in out and "[" in out
+
+
+class TestCell:
+    def test_cell_timetable(self, capsys):
+        assert main(["cell", "--n", "7", "--x", "3", "--y", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "t=" in out or "idle" in out

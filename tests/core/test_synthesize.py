@@ -1,0 +1,111 @@
+"""End-to-end synthesis: the paper's designs, exactly."""
+
+import pytest
+
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED, LINEAR_BIDIR
+from repro.core import synthesize, synthesize_uniform, verify_design
+from repro.problems import (
+    convolution_backward,
+    convolution_inputs,
+    dp_inputs,
+    dp_system,
+)
+
+
+class TestFig1Design:
+    def test_time_functions(self, dp_design_fig1):
+        d = dp_design_fig1
+        assert d.schedules["m1"].coeffs == (-1, 2, -1)   # λ
+        assert d.schedules["m2"].coeffs == (-2, 1, 1)    # μ
+        assert d.schedules["comb"].coeffs == (-2, 2)     # σ
+
+    def test_space_maps_are_j_i(self, dp_design_fig1):
+        d = dp_design_fig1
+        for name in ("m1", "m2"):
+            assert d.space_maps[name].matrix == ((0, 1, 0), (1, 0, 0))
+        assert d.space_maps["comb"].matrix == ((0, 1), (1, 0))
+
+    def test_cell_count(self, dp_design_fig1, dp_params):
+        n = dp_params["n"]
+        # Cells (j, i) for j - i >= 2: C(n-1, 2).
+        assert dp_design_fig1.cell_count == (n - 1) * (n - 2) // 2
+
+    def test_completion_linear_in_n(self, dp_design_fig1, dp_params):
+        n = dp_params["n"]
+        assert dp_design_fig1.completion_time == 2 * n - 5
+
+    def test_verification(self, dp_design_fig1, dp_host_inputs):
+        report = verify_design(dp_design_fig1, dp_host_inputs)
+        assert report.ok, report.failures
+
+
+class TestFig2Design:
+    def test_space_maps_match_paper(self, dp_design_fig2):
+        d = dp_design_fig2
+        assert d.space_maps["m1"].matrix == ((0, 0, 1), (1, 0, 0))
+        assert d.space_maps["m2"].matrix == ((1, 1, -1), (1, 0, 0))
+        assert d.space_maps["comb"].matrix == ((1, 0), (1, 0))
+        assert d.space_maps["comb"].offset == (1, 0)
+
+    def test_fewer_cells_than_fig1(self, dp_design_fig1, dp_design_fig2):
+        assert dp_design_fig2.cell_count < dp_design_fig1.cell_count
+
+    def test_flow_directions_match_paper(self, dp_design_fig2):
+        """Section VI: c' left, a' stays, b' up; a'' right, b'' up-left
+        diagonal, c'' left."""
+        flows = dp_design_fig2.flows()
+        assert flows["m1"]["cp"].direction == (-1, 0)
+        assert flows["m1"]["ap"].stays
+        assert flows["m1"]["bp"].direction == (0, -1)
+        assert flows["m2"]["app"].direction == (1, 0)
+        assert flows["m2"]["bpp"].direction == (-1, -1)
+        assert flows["m2"]["cpp"].direction == (-1, 0)
+
+    def test_verification(self, dp_design_fig2, dp_host_inputs):
+        report = verify_design(dp_design_fig2, dp_host_inputs)
+        assert report.ok, report.failures
+
+    def test_same_completion_time_as_fig1(self, dp_design_fig1,
+                                          dp_design_fig2):
+        assert dp_design_fig2.completion_time == \
+            dp_design_fig1.completion_time
+
+
+class TestConvolutionDesigns:
+    def test_w2_schedule_and_map(self, conv_design_backward):
+        d = conv_design_backward
+        assert d.schedules["conv"].coeffs == (1, 1)
+        assert d.space_maps["conv"].matrix == ((0, 1),)
+
+    def test_w2_cells_equal_s(self, conv_design_backward, conv_params):
+        assert conv_design_backward.cell_count == conv_params["s"]
+
+    def test_verification(self, conv_design_backward, conv_params):
+        x = list(range(1, conv_params["n"] + 1))
+        w = [2, -1, 1, 3]
+        report = verify_design(conv_design_backward,
+                               convolution_inputs(x, w))
+        assert report.ok, report.failures
+
+    def test_uniform_wrapper_rejects_multimodule(self, dp_sys, dp_params):
+        with pytest.raises(ValueError):
+            synthesize_uniform(dp_sys, dp_params, FIG1_UNIDIRECTIONAL)
+
+    def test_uniform_wrapper_works(self, conv_params):
+        d = synthesize_uniform(convolution_backward(), conv_params,
+                               LINEAR_BIDIR)
+        assert d.schedules["conv"].coeffs == (1, 1)
+
+
+class TestDesignObject:
+    def test_summary_mentions_everything(self, dp_design_fig2):
+        text = dp_design_fig2.summary()
+        assert "m1" in text and "comb" in text and "cells" in text
+
+    def test_region_and_array(self, dp_design_fig2):
+        arr = dp_design_fig2.array()
+        assert arr.cell_count == dp_design_fig2.cell_count
+
+    def test_time_normalised_to_zero(self, dp_design_fig1):
+        lo, hi = dp_design_fig1.time_range()
+        assert lo == 0

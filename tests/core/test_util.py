@@ -1,0 +1,82 @@
+"""Integer-math utilities (and their agreement with the SNF-based solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import solve_integer_system
+from repro.util import (
+    extended_gcd,
+    gcd_vector,
+    integer_solve,
+    is_integer_matrix,
+    lcm,
+)
+
+
+class TestExtendedGcd:
+    @given(st.integers(-200, 200), st.integers(-200, 200))
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    def test_zero_zero(self):
+        g, x, y = extended_gcd(0, 0)
+        assert g == 0 and 0 * x + 0 * y == g
+
+
+class TestLcmGcd:
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_lcm_divisible(self, a, b):
+        m = lcm(a, b)
+        if a and b:
+            assert m % a == 0 and m % b == 0
+        else:
+            assert m == 0
+
+    def test_gcd_vector(self):
+        assert gcd_vector([4, 6, 10]) == 2
+        assert gcd_vector([]) == 0
+        assert gcd_vector([0, 0]) == 0
+
+
+class TestIsIntegerMatrix:
+    def test_cases(self):
+        assert is_integer_matrix([[1, 2], [3, 4]])
+        assert is_integer_matrix(np.array([[1.0, 2.0]]))
+        assert not is_integer_matrix(np.array([[1.5]]))
+        assert is_integer_matrix(np.zeros((0, 0)))
+
+
+class TestIntegerSolve:
+    def test_simple(self):
+        x = integer_solve([[2, 1], [1, 1]], [5, 3])
+        assert list(x) == [2, 1]
+
+    def test_no_integer_solution(self):
+        assert integer_solve([[2]], [3]) is None
+
+    def test_inconsistent(self):
+        assert integer_solve([[1], [1]], [1, 2]) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.integers(-4, 4), min_size=2, max_size=2),
+                    min_size=2, max_size=3),
+           st.lists(st.integers(-4, 4), min_size=2, max_size=2))
+    def test_agrees_with_snf_solver(self, rows, x_true):
+        """Two independent implementations must agree on solvability, and
+        any solution either returns must verify."""
+        A = np.array(rows, dtype=object)
+        b = A @ np.array(x_true, dtype=object)
+        via_elimination = integer_solve(A, b)
+        via_snf = solve_integer_system(A, b)
+        assert via_snf is not None  # constructed solvable
+        x0, _ = via_snf
+        assert (A @ x0 == b).all()
+        if via_elimination is not None:
+            assert (A @ np.array(list(via_elimination), dtype=object)
+                    == b).all()

@@ -1,0 +1,61 @@
+"""Dependence DAGs over lattice points."""
+
+import pytest
+
+from repro.deps import (
+    DependenceMatrix,
+    check_schedule_against_dag,
+    critical_path_length,
+    dependence_dag,
+    levels,
+    trace_dag,
+)
+from repro.ir import trace_execution
+from repro.ir.indexset import Polyhedron
+from repro.problems import dp_inputs, dp_system
+from repro.schedule import LinearSchedule
+
+
+class TestDependenceDag:
+    def test_box_chain(self):
+        D = DependenceMatrix.from_dict({"x": [(1,)]})
+        dom = Polyhedron.box({"i": (1, 6)})
+        g = dependence_dag(dom, D, {})
+        assert g.number_of_edges() == 5
+        assert critical_path_length(g) == 5
+
+    def test_levels(self):
+        D = DependenceMatrix.from_dict({"x": [(1, 0)], "y": [(0, 1)]})
+        dom = Polyhedron.box({"i": (1, 3), "j": (1, 3)})
+        g = dependence_dag(dom, D, {})
+        lv = levels(g)
+        assert lv[(1, 1)] == 0
+        assert lv[(3, 3)] == 4
+
+    def test_cycle_rejected(self):
+        D = DependenceMatrix.from_dict({"x": [(1,)], "y": [(-1,)]})
+        dom = Polyhedron.box({"i": (1, 4)})
+        with pytest.raises(ValueError):
+            dependence_dag(dom, D, {})
+
+    def test_valid_schedule_respects_dag(self):
+        D = DependenceMatrix.from_dict({"y": [(0, 1)], "x": [(1, 1)],
+                                        "w": [(1, 0)]})
+        dom = Polyhedron.box({"i": (1, 6), "k": (1, 3)})
+        g = dependence_dag(dom, D, {})
+        good = LinearSchedule(("i", "k"), (1, 1))
+        bad = LinearSchedule(("i", "k"), (1, -1))
+        assert check_schedule_against_dag(g, good.time)
+        assert not check_schedule_against_dag(g, bad.time)
+
+
+class TestTraceDag:
+    def test_dp_trace_dag_acyclic_and_deep(self):
+        n = 6
+        system = dp_system()
+        seeds = list(range(1, n))
+        trace = trace_execution(system, {"n": n}, dp_inputs(seeds))
+        g = trace_dag(trace)
+        assert g.number_of_nodes() == len(trace.events)
+        # The DP dependence chain grows with n.
+        assert critical_path_length(g) >= n - 2

@@ -1,0 +1,87 @@
+"""Dependence vectors/matrices and extraction from the paper's systems."""
+
+import numpy as np
+import pytest
+
+from repro.deps import (
+    DependenceMatrix,
+    DependenceVector,
+    module_dependence_matrix,
+    system_dependence_matrices,
+)
+from repro.problems import (
+    convolution_backward,
+    convolution_forward,
+    dp_system,
+    matmul_system,
+)
+
+
+class TestDependenceMatrix:
+    def test_duplicates_collapse(self):
+        m = DependenceMatrix([DependenceVector("x", (1, 0)),
+                              DependenceVector("x", (1, 0))])
+        assert len(m) == 1
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceMatrix([DependenceVector("x", (1,)),
+                              DependenceVector("y", (1, 0))])
+
+    def test_matrix_columns(self):
+        m = DependenceMatrix.from_dict({"y": [(0, 1)], "x": [(1, 1)]})
+        np.testing.assert_array_equal(m.matrix(),
+                                      np.array([[0, 1], [1, 1]]))
+
+    def test_restrict_and_merge(self):
+        m = DependenceMatrix.from_dict({"a": [(1, 0)], "b": [(0, 1)]})
+        a_only = m.restrict(["a"])
+        assert a_only.variables == ("a",)
+        merged = a_only.merge(m.restrict(["b"]))
+        assert set(merged.variables) == {"a", "b"}
+
+    def test_vector_set(self):
+        m = DependenceMatrix.from_dict({"a": [(1, 0)], "b": [(1, 0)]})
+        assert m.vector_set() == {(1, 0)}
+
+
+class TestExtraction:
+    def test_convolution_backward_matches_paper(self):
+        """Recurrence (4): d_y=(0,1), d_x=(1,1), d_w=(1,0)."""
+        system = convolution_backward()
+        D = module_dependence_matrix(system.modules["conv"])
+        by_var = {v: {d.vector for d in D.columns_for(v)}
+                  for v in D.variables}
+        assert by_var == {"w": {(1, 0)}, "x": {(1, 1)}, "y": {(0, 1)}}
+
+    def test_convolution_forward_matches_paper(self):
+        """Recurrence (5): d_y=(0,-1)."""
+        system = convolution_forward()
+        D = module_dependence_matrix(system.modules["conv"])
+        assert {d.vector for d in D.columns_for("y")} == {(0, -1)}
+
+    def test_dp_module_matrices_match_paper(self):
+        """Section IV: D1 and D2 column sets."""
+        deps = system_dependence_matrices(dp_system())
+        d1 = {v: {d.vector for d in deps["m1"].columns_for(v)}
+              for v in deps["m1"].variables}
+        d2 = {v: {d.vector for d in deps["m2"].columns_for(v)}
+              for v in deps["m2"].variables}
+        assert d1 == {"ap": {(0, 1, 0)}, "bp": {(-1, 0, 0)},
+                      "cp": {(0, 0, -1)}}
+        assert d2 == {"app": {(0, 1, 0)}, "bpp": {(-1, 0, 0)},
+                      "cpp": {(0, 0, 1)}}
+
+    def test_combine_module_has_no_local_deps(self):
+        deps = system_dependence_matrices(dp_system())
+        assert len(deps["comb"]) == 0
+
+    def test_zero_dependences_excluded(self):
+        """Same-point reads (f(a', b') inside c') must not become columns."""
+        deps = system_dependence_matrices(dp_system())
+        for D in deps.values():
+            assert all(not v.is_zero() for v in D.vectors)
+
+    def test_matmul(self):
+        deps = module_dependence_matrix(matmul_system().modules["mm"])
+        assert deps.vector_set() == {(0, 1, 0), (1, 0, 0), (0, 0, 1)}

@@ -1,0 +1,89 @@
+"""Full-pipeline integration: high-level spec → restructure → synthesize →
+systolic machine == sequential reference, across sizes, semantics and
+interconnects."""
+
+import random
+
+import pytest
+
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED, LINEAR_BIDIR
+from repro.core import restructure, synthesize, verify_design
+from repro.ir import trace_execution
+from repro.machine import compile_design, run
+from repro.problems import (
+    convolution_backward,
+    convolution_forward,
+    convolution_inputs,
+    dp_spec,
+    paren_body,
+    paren_combine,
+    parenthesization_inputs,
+)
+from repro.problems.dynamic_programming import dp_spec as make_dp_spec
+from repro.reference import convolve, matrix_chain, min_plus_dp
+
+
+def machine_results(system, params, design, inputs):
+    trace = trace_execution(system, params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        design.interconnect.decomposer())
+    return run(mc, trace, inputs, strict=True).results
+
+
+class TestDpPipeline:
+    @pytest.mark.parametrize("interconnect",
+                             [FIG1_UNIDIRECTIONAL, FIG2_EXTENDED])
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_spec_to_machine(self, interconnect, n):
+        rng = random.Random(n)
+        seeds = [rng.randint(1, 30) for _ in range(n - 1)]
+        system = restructure(dp_spec(), params={"n": max(n, 5)})
+        design = synthesize(system, {"n": n}, interconnect)
+
+        def c0(i, j, _s=seeds):
+            return _s[i - 1]
+
+        results = machine_results(system, {"n": n}, design, {"c0": c0})
+        ref = min_plus_dp(seeds, n)
+        assert all(results[k] == ref[k] for k in results)
+
+    def test_parenthesization_on_fig2(self):
+        """Rich value semantics (cost + tree) through the fig-2 array."""
+        dims = (30, 35, 15, 5, 10, 20, 25)
+        n = len(dims)
+        spec = make_dp_spec(paren_body(), paren_combine())
+        system = restructure(spec, params={"n": n})
+        design = synthesize(system, {"n": n}, FIG2_EXTENDED)
+        inputs = parenthesization_inputs(dims)
+
+        # The generic restructurer keys seeds by the full boundary point.
+        results = machine_results(system, {"n": n}, design, inputs)
+        ref = matrix_chain(dims)
+        assert results[(1, n)] == ref[(1, n)]
+        assert results[(1, n)][2] == 15125
+
+
+class TestConvolutionPipeline:
+    @pytest.mark.parametrize("builder", [convolution_backward,
+                                         convolution_forward])
+    def test_synthesized_design_runs(self, builder):
+        n, s = 9, 3
+        rng = random.Random(17)
+        x = [rng.randint(-9, 9) for _ in range(n)]
+        w = [rng.randint(-3, 3) for _ in range(s)]
+        system = builder()
+        design = synthesize(system, {"n": n, "s": s}, LINEAR_BIDIR)
+        inputs = convolution_inputs(x, w)
+        results = machine_results(system, {"n": n, "s": s}, design, inputs)
+        assert [results[(i,)] for i in range(1, n + 1)] == convolve(x, w)
+
+
+class TestVerifierAgreesWithMachine:
+    @pytest.mark.parametrize("interconnect",
+                             [FIG1_UNIDIRECTIONAL, FIG2_EXTENDED])
+    def test_verify_design_full(self, interconnect, dp_sys, dp_params,
+                                dp_host_inputs):
+        design = synthesize(dp_sys, dp_params, interconnect)
+        report = verify_design(design, dp_host_inputs)
+        assert report.ok, report.failures
+        assert report.machine_stats.cells_used <= design.cell_count

@@ -1,0 +1,62 @@
+"""Property-based end-to-end invariants on the synthesized DP designs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import trace_execution
+from repro.machine import compile_design, run
+from repro.problems import dp_inputs
+from repro.reference import min_plus_dp
+
+
+@pytest.fixture(scope="module")
+def fig2(dp_design_fig2):
+    return dp_design_fig2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 99), min_size=7, max_size=7))
+def test_fig2_machine_matches_reference_for_any_seeds(dp_design_fig2,
+                                                      seeds):
+    """The same microcode computes correct DP tables for arbitrary inputs."""
+    design = dp_design_fig2
+    n = design.params["n"]
+    inputs = dp_inputs(seeds)
+    trace = trace_execution(design.system, design.params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        design.interconnect.decomposer())
+    results = run(mc, trace, inputs, strict=True).results
+    ref = min_plus_dp(seeds, n)
+    assert all(results[k] == ref[k] for k in results)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=7, max_size=7))
+def test_fig1_handles_negative_costs(dp_design_fig1, seeds):
+    design = dp_design_fig1
+    n = design.params["n"]
+    inputs = dp_inputs(seeds)
+    trace = trace_execution(design.system, design.params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        design.interconnect.decomposer())
+    results = run(mc, trace, inputs, strict=True).results
+    ref = min_plus_dp(seeds, n)
+    assert all(results[k] == ref[k] for k in results)
+
+
+def test_design_invariants_hold_across_sizes():
+    """Structural invariants of both designs for several problem sizes:
+    conflict-freedom, link-validity of every hop, completion = 2n - 5."""
+    from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED
+    from repro.core import synthesize, verify_design
+    from repro.problems import dp_system
+
+    for n in (5, 7, 10):
+        seeds = list(range(1, n))
+        inputs = dp_inputs(seeds)
+        for ic in (FIG1_UNIDIRECTIONAL, FIG2_EXTENDED):
+            design = synthesize(dp_system(), {"n": n}, ic)
+            report = verify_design(design, inputs)
+            assert report.ok, (n, ic.name, report.failures)
+            assert design.completion_time == 2 * n - 5

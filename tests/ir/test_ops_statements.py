@@ -1,0 +1,120 @@
+"""Operations and equation/rule mechanics."""
+
+import pytest
+
+from repro.ir import (
+    ADD,
+    ComputeRule,
+    Equation,
+    ExternalRef,
+    IDENTITY,
+    InputRule,
+    LinkRule,
+    MAC,
+    MAX,
+    MIN,
+    MIN_PLUS,
+    MUL,
+    Op,
+    Ref,
+    equals,
+    make_op,
+)
+from repro.ir.affine import var
+from repro.ir.predicates import at_least
+
+I = var("i")
+
+
+class TestOps:
+    def test_standard_semantics(self):
+        assert IDENTITY(7) == 7
+        assert ADD(2, 3) == 5
+        assert MUL(2, 3) == 6
+        assert MIN(2, 3) == 2
+        assert MAX(2, 3) == 3
+        assert MAC(10, 2, 3) == 16
+        assert MIN_PLUS(2, 3) == 5
+
+    def test_arity_enforced(self):
+        with pytest.raises(TypeError):
+            ADD(1)
+
+    def test_make_op(self):
+        halve = make_op("halve", 1, lambda x: x // 2)
+        assert halve(9) == 4
+        assert halve.name == "halve"
+
+    def test_equality_ignores_fn(self):
+        a = make_op("x", 1, lambda v: v)
+        b = make_op("x", 1, lambda v: v + 1)
+        assert a == b  # identity is (name, arity); semantics live in tests
+
+
+class TestRules:
+    def test_compute_rule_arity_check(self):
+        with pytest.raises(ValueError):
+            ComputeRule(ADD, (Ref.of("x", I),))
+
+    def test_link_rule_defaults(self):
+        rule = LinkRule(ExternalRef.of("m", "v", I))
+        assert rule.min_gap == 1
+        assert rule.label == ""
+
+    def test_link_rule_gap_zero(self):
+        rule = LinkRule(ExternalRef.of("m", "v", I), min_gap=0)
+        assert rule.min_gap == 0
+
+
+class TestEquationSelect:
+    def eqn(self):
+        return Equation("x", (
+            InputRule("a", (I,), guard=equals(I, 1)),
+            InputRule("b", (I,), guard=at_least(I, 1)),   # overlaps at i=1
+            InputRule("c", (I,)),
+        ))
+
+    def test_first_match_wins(self):
+        rule = self.eqn().select({"i": 1})
+        assert rule.input_name == "a"
+
+    def test_second_rule(self):
+        rule = self.eqn().select({"i": 5})
+        assert rule.input_name == "b"
+
+    def test_fallback(self):
+        rule = self.eqn().select({"i": 0})
+        assert rule.input_name == "c"
+
+    def test_no_match_raises(self):
+        eqn = Equation("x", (InputRule("a", (I,), guard=equals(I, 1)),))
+        with pytest.raises(ValueError):
+            eqn.select({"i": 2})
+
+    def test_where_gates_selection(self):
+        eqn = Equation("x", (InputRule("a", (I,)),), where=at_least(I, 3))
+        assert eqn.defined_at({"i": 3})
+        assert not eqn.defined_at({"i": 2})
+        with pytest.raises(ValueError):
+            eqn.select({"i": 2})
+
+
+class TestRefs:
+    def test_dependence_vector(self):
+        ref = Ref.of("x", I - 1, var("j") + 2)
+        assert ref.dependence_vector(("i", "j")) == (1, -2)
+
+    def test_non_translation_returns_none(self):
+        assert Ref.of("x", 2 * I).dependence_vector(("i",)) is None
+
+    def test_quasi_affine_returns_none(self):
+        ref = Ref.of("x", I.floordiv(2))
+        assert ref.dependence_vector(("i",)) is None
+
+    def test_evaluate(self):
+        ref = Ref.of("x", I - 1, (I + var("j")).floordiv(2))
+        assert ref.evaluate({"i": 3, "j": 4}) == (2, 3)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Ref.of("x", I).dependence_vector(("i", "j"))

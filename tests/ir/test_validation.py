@@ -1,0 +1,105 @@
+"""Canonic-form validation: each check fires on a crafted violation."""
+
+import pytest
+
+from repro.ir import (
+    ADD,
+    ComputeRule,
+    Equation,
+    IDENTITY,
+    InputRule,
+    Module,
+    Polyhedron,
+    Ref,
+    ValidationError,
+    equals,
+)
+from repro.ir.affine import var
+from repro.ir.predicates import at_least
+from repro.ir.validation import (
+    check_ca2,
+    check_canonic,
+    check_compute_refs_defined,
+    check_constant_dependencies,
+    check_guards_cover,
+    check_system,
+)
+from repro.problems import convolution_backward, dp_system
+
+I, J = var("i"), var("j")
+
+
+def box_module(equations):
+    return Module("t", ("i", "j"),
+                  Polyhedron.box({"i": (1, 4), "j": (1, 4)}), equations)
+
+
+class TestCA2:
+    def test_cross_coordinate_rejected(self):
+        # x[i, i] — coordinate 1 depends on dimension i.
+        eqn = Equation("x", (
+            ComputeRule(IDENTITY, (Ref.of("x", I - 1, I),),
+                        guard=at_least(I, 2)),
+            InputRule("z", (), guard=equals(I, 1))))
+        with pytest.raises(ValidationError):
+            check_ca2(box_module([eqn]))
+
+    def test_translation_ok(self):
+        eqn = Equation("x", (
+            ComputeRule(IDENTITY, (Ref.of("x", I - 1, J),),
+                        guard=at_least(I, 2)),
+            InputRule("z", (), guard=equals(I, 1))))
+        check_ca2(box_module([eqn]))
+
+    def test_quasi_affine_coordinate_rejected(self):
+        eqn = Equation("x", (
+            ComputeRule(IDENTITY, (Ref.of("x", (I + J).floordiv(2), J),)),))
+        with pytest.raises(ValidationError):
+            check_ca2(box_module([eqn]))
+
+
+class TestCA3:
+    def test_scaled_index_rejected(self):
+        eqn = Equation("x", (
+            ComputeRule(IDENTITY, (Ref.of("x", 2 * I, J),)),))
+        with pytest.raises(ValidationError):
+            check_constant_dependencies(box_module([eqn]))
+
+
+class TestGuards:
+    def test_gap_detected(self):
+        eqn = Equation("x", (
+            InputRule("z", (), guard=equals(I, 1)),))  # i >= 2 uncovered
+        with pytest.raises(ValidationError):
+            check_guards_cover(box_module([eqn]), {})
+
+    def test_where_restricts(self):
+        eqn = Equation("x", (
+            InputRule("z", (), guard=equals(I, 1)),), where=equals(I, 1))
+        check_guards_cover(box_module([eqn]), {})
+
+
+class TestComputeRefs:
+    def test_out_of_domain_operand(self):
+        eqn = Equation("x", (
+            ComputeRule(IDENTITY, (Ref.of("x", I - 1, J),)),))
+        with pytest.raises(ValidationError):
+            check_compute_refs_defined(box_module([eqn]), {})
+
+    def test_undefined_region_operand(self):
+        a = Equation("a", (InputRule("z", (),
+                                     guard=at_least(I, 1)),),
+                     where=at_least(I, 2))
+        b = Equation("b", (ComputeRule(IDENTITY, (Ref.of("a", I, J),)),))
+        with pytest.raises(ValidationError):
+            check_compute_refs_defined(box_module([a, b]), {})
+
+
+class TestRealSystems:
+    def test_convolution_canonic(self):
+        system = convolution_backward()
+        check_system(system, {"n": 6, "s": 3})
+
+    @pytest.mark.parametrize("n", [3, 4, 7, 10])
+    def test_dp_system_valid(self, n):
+        check_system(dp_system(), {"n": n})

@@ -1,0 +1,79 @@
+"""Linear schedules: evaluation, validity, makespan."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.deps import DependenceMatrix
+from repro.ir.indexset import Polyhedron
+from repro.schedule import LinearSchedule
+
+
+class TestEvaluation:
+    def test_time_tuple_and_mapping(self):
+        s = LinearSchedule(("i", "k"), (1, 1))
+        assert s.time((2, 3)) == 5
+        assert s.time({"i": 2, "k": 3}) == 5
+
+    def test_offset(self):
+        s = LinearSchedule(("i",), (2,), offset=-3)
+        assert s.time((4,)) == 5
+
+    def test_times_vectorised(self):
+        s = LinearSchedule(("i", "k"), (1, 2))
+        pts = np.array([[1, 1], [2, 3]])
+        np.testing.assert_array_equal(s.times(pts), [3, 8])
+
+    def test_of_vector_ignores_offset(self):
+        s = LinearSchedule(("i",), (3,), offset=7)
+        assert s.of_vector((2,)) == 6
+
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(("i", "j"), (1,))
+        with pytest.raises(ValueError):
+            LinearSchedule(("i",), (1,)).time((1, 2))
+
+    @given(st.tuples(st.integers(-4, 4), st.integers(-4, 4)),
+           st.tuples(st.integers(-9, 9), st.integers(-9, 9)),
+           st.tuples(st.integers(-9, 9), st.integers(-9, 9)))
+    def test_linearity(self, coeffs, p, q):
+        s = LinearSchedule(("i", "j"), coeffs)
+        summed = tuple(a + b for a, b in zip(p, q))
+        assert s.time(summed) == s.time(p) + s.time(q) - s.offset
+
+    def test_shifted(self):
+        s = LinearSchedule(("i",), (1,))
+        assert s.shifted(4).time((1,)) == 5
+
+
+class TestValidity:
+    def test_satisfies(self):
+        D = DependenceMatrix.from_dict({"y": [(0, 1)], "w": [(1, 0)]})
+        assert LinearSchedule(("i", "k"), (1, 1)).satisfies(D)
+        assert not LinearSchedule(("i", "k"), (1, 0)).satisfies(D)
+
+    def test_violated_lists_offenders(self):
+        D = DependenceMatrix.from_dict({"y": [(0, 1)], "w": [(1, 0)]})
+        bad = LinearSchedule(("i", "k"), (1, -1)).violated(D)
+        assert [v.variable for v in bad] == ["y"]
+
+
+class TestMakespan:
+    def test_exact_over_box(self):
+        s = LinearSchedule(("i", "k"), (1, 1))
+        dom = Polyhedron.box({"i": (1, "n"), "k": (1, "s")},
+                             params=("n", "s"))
+        assert s.makespan(dom, {"n": 10, "s": 4}) == (10 + 4) - 2
+
+    def test_time_range(self):
+        s = LinearSchedule(("i",), (-1,))
+        dom = Polyhedron.box({"i": (1, 5)})
+        assert s.time_range(dom, {}) == (-5, -1)
+
+    def test_empty_domain_raises(self):
+        s = LinearSchedule(("i",), (1,))
+        dom = Polyhedron.box({"i": (3, 2)})
+        with pytest.raises(ValueError):
+            s.makespan(dom, {})

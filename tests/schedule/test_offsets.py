@@ -1,0 +1,81 @@
+"""Schedule offsets: systems that no homogeneous assignment can serve."""
+
+import numpy as np
+import pytest
+
+from repro.schedule import (
+    GlobalConstraint,
+    ModuleSchedulingProblem,
+    NoScheduleExists,
+    solve_multimodule,
+)
+
+
+def mirror_problem():
+    """Two 1-index modules over i in [-3, 3] with a same-point link:
+    module B at point i reads module A at point i.  The required gap
+    ``T_B(i) - T_A(i) >= 1`` is a constant-sign requirement over a domain
+    that crosses zero — impossible homogeneously, trivial with an offset."""
+    pts = np.arange(-3, 4, dtype=np.int64).reshape(-1, 1)
+    a = ModuleSchedulingProblem("A", ("i",), None, pts)
+    b = ModuleSchedulingProblem("B", ("i",), None, pts)
+    link = GlobalConstraint("same-point", "B", "A", pts, pts, min_gap=1)
+    return [a, b], [link]
+
+
+class TestOffsets:
+    def test_homogeneous_infeasible(self):
+        problems, constraints = mirror_problem()
+        with pytest.raises(NoScheduleExists):
+            solve_multimodule(problems, constraints, bound=3, offsets=(0,))
+
+    def test_offset_solves(self):
+        problems, constraints = mirror_problem()
+        sol = solve_multimodule(problems, constraints, bound=3,
+                                offsets=range(-2, 3))
+        ta = sol.schedules["A"]
+        tb = sol.schedules["B"]
+        for i in range(-3, 4):
+            assert tb.time((i,)) - ta.time((i,)) >= 1
+
+    def test_offset_solution_is_minimal_makespan(self):
+        problems, constraints = mirror_problem()
+        sol = solve_multimodule(problems, constraints, bound=3,
+                                offsets=range(-2, 3))
+        # Optimal: both schedules constant-ish with B one cycle after A;
+        # span of the 7-point domain cannot beat 1 given the gap.
+        assert sol.makespan == 1
+
+
+class TestSynthesizeEscalation:
+    def test_synthesize_escalates_schedule_offsets(self):
+        """The top-level pipeline retries with offsets when homogeneous
+        scheduling fails (using an artificial same-point linked system)."""
+        from repro.core import synthesize
+        from repro.arrays import LINEAR_BIDIR
+        from repro.ir import (
+            Equation,
+            ExternalRef,
+            InputRule,
+            LinkRule,
+            Module,
+            OutputSpec,
+            Polyhedron,
+            RecurrenceSystem,
+        )
+        from repro.ir.affine import var
+
+        I = var("i")
+        domain = Polyhedron.box({"i": (-3, 3)})
+        a = Module("A", ("i",), domain,
+                   [Equation("x", (InputRule("inp", (I,)),))])
+        b = Module("B", ("i",), domain,
+                   [Equation("y", (LinkRule(ExternalRef.of("A", "x", I)),))])
+        system = RecurrenceSystem(
+            "mirror", [a, b],
+            outputs=[OutputSpec("B", "y", domain, (I,))],
+            input_names=("inp",))
+        design = synthesize(system, {}, LINEAR_BIDIR)
+        for i in range(-3, 4):
+            assert design.schedules["B"].time((i,)) \
+                - design.schedules["A"].time((i,)) >= 1

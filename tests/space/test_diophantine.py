@@ -1,0 +1,100 @@
+"""Integer linear systems and link decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED, LINEAR_BIDIR
+from repro.space import LinkDecomposer, solve_integer_system
+
+
+class TestIntegerSystems:
+    def test_solvable(self):
+        A = [[2, 1], [1, 1]]
+        b = [5, 3]
+        x0, N = solve_integer_system(A, b)
+        assert (np.array(A, dtype=object) @ x0 == np.array(b)).all()
+        assert N.shape[1] == 0
+
+    def test_underdetermined_nullspace(self):
+        A = [[1, 1, 1]]
+        b = [3]
+        x0, N = solve_integer_system(A, b)
+        assert sum(x0) == 3
+        assert N.shape == (3, 2)
+        # Null vectors really are in the null space.
+        assert all((np.array(A, dtype=object) @ N[:, k] == 0).all()
+                   for k in range(N.shape[1]))
+
+    def test_no_integer_solution(self):
+        assert solve_integer_system([[2]], [3]) is None
+
+    def test_inconsistent(self):
+        assert solve_integer_system([[1], [1]], [1, 2]) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.integers(-4, 4), min_size=2, max_size=2),
+                    min_size=2, max_size=3),
+           st.lists(st.integers(-4, 4), min_size=2, max_size=2))
+    def test_solution_always_verifies(self, rows, x_true):
+        A = np.array(rows, dtype=object)
+        b = A @ np.array(x_true, dtype=object)
+        result = solve_integer_system(A, b)
+        assert result is not None
+        x0, _ = result
+        assert (A @ x0 == b).all()
+
+
+class TestLinkDecomposer:
+    def test_linear_distances(self):
+        d = LinkDecomposer(LINEAR_BIDIR.matrix())
+        assert d.distance((0,)) == 0
+        assert d.distance((3,)) == 3
+        assert d.distance((-2,)) == 2
+
+    def test_unidirectional_unreachable(self):
+        d = LinkDecomposer(FIG1_UNIDIRECTIONAL.matrix())
+        assert d.distance((1, 0)) == 1
+        assert d.distance((-1, 0), limit=6) is None
+
+    def test_fig2_diagonal(self):
+        d = LinkDecomposer(FIG2_EXTENDED.matrix())
+        assert d.distance((-1, -1)) == 1
+        assert d.distance((-2, -1)) == 2   # diagonal + left
+        assert d.distance((1, -1)) == 2    # right + down
+
+    def test_reachable_within(self):
+        d = LinkDecomposer(FIG2_EXTENDED.matrix())
+        assert d.reachable_within((0, 0), 0)
+        assert d.reachable_within((-1, -1), 2)
+        assert not d.reachable_within((2, 0), 1)
+        assert not d.reachable_within((1, 0), -1)
+
+    def test_decompose_path_valid(self):
+        d = LinkDecomposer(FIG2_EXTENDED.matrix())
+        hops = d.decompose((-2, -1), 3)
+        assert hops is not None and len(hops) <= 3
+        total = tuple(sum(h[c] for h in hops) for c in range(2))
+        assert total == (-2, -1)
+        moves = set(d.moves)
+        assert all(h in moves for h in hops)
+
+    def test_decompose_zero(self):
+        d = LinkDecomposer(LINEAR_BIDIR.matrix())
+        assert d.decompose((0,), 5) == []
+
+    def test_decompose_infeasible(self):
+        d = LinkDecomposer(FIG1_UNIDIRECTIONAL.matrix())
+        assert d.decompose((-1, 0), 4) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-4, 4), st.integers(-4, 0))
+    def test_decompose_matches_distance(self, dx, dy):
+        d = LinkDecomposer(FIG2_EXTENDED.matrix())
+        dist = d.distance((dx, dy), limit=12)
+        hops = d.decompose((dx, dy), 12)
+        if dist is None:
+            assert hops is None
+        else:
+            assert hops is not None and len(hops) == dist

@@ -1,0 +1,107 @@
+"""Hermite/Smith normal forms: exact invariants on random matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import det, hermite_normal_form, is_unimodular, smith_normal_form
+from repro.space.smith import int_rank
+
+
+def int_matrices(max_dim=4, lo=-6, hi=6):
+    return st.integers(1, max_dim).flatmap(
+        lambda m: st.integers(1, max_dim).flatmap(
+            lambda n: st.lists(
+                st.lists(st.integers(lo, hi), min_size=n, max_size=n),
+                min_size=m, max_size=m)))
+
+
+class TestDet:
+    def test_known(self):
+        assert det([[1, 2], [3, 4]]) == -2
+        assert det([[2, 0, 0], [0, 3, 0], [0, 0, 5]]) == 30
+
+    def test_singular(self):
+        assert det([[1, 2], [2, 4]]) == 0
+
+    def test_empty(self):
+        assert det(np.zeros((0, 0), dtype=int)) == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            det([[1, 2, 3]])
+
+    @settings(max_examples=40, deadline=None)
+    @given(int_matrices(max_dim=4))
+    def test_matches_numpy(self, rows):
+        M = np.array(rows, dtype=object)
+        if M.shape[0] != M.shape[1]:
+            return
+        ours = det(M)
+        numpy_det = round(float(np.linalg.det(np.array(rows, dtype=float))))
+        assert ours == numpy_det
+
+
+class TestRank:
+    def test_known(self):
+        assert int_rank([[1, 2], [2, 4]]) == 1
+        assert int_rank([[1, 0, 0], [0, 1, 0]]) == 2
+        assert int_rank([[0, 0], [0, 0]]) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(int_matrices())
+    def test_matches_numpy(self, rows):
+        ours = int_rank(rows)
+        theirs = np.linalg.matrix_rank(np.array(rows, dtype=float))
+        assert ours == theirs
+
+
+class TestHermite:
+    @settings(max_examples=50, deadline=None)
+    @given(int_matrices())
+    def test_av_equals_h_and_v_unimodular(self, rows):
+        A = np.array(rows, dtype=object)
+        H, V = hermite_normal_form(A)
+        assert (A @ V == H).all()
+        assert is_unimodular(V)
+
+    def test_identity_fixed_point(self):
+        H, V = hermite_normal_form(np.eye(3, dtype=int))
+        assert (H == np.eye(3, dtype=object)).all()
+
+
+class TestSmith:
+    @settings(max_examples=50, deadline=None)
+    @given(int_matrices())
+    def test_uav_diagonal_divisibility(self, rows):
+        A = np.array(rows, dtype=object)
+        U, D, V = smith_normal_form(A)
+        assert (U @ A @ V == D).all()
+        assert is_unimodular(U) and is_unimodular(V)
+        m, n = D.shape
+        diag = [int(D[k, k]) for k in range(min(m, n))]
+        # Off-diagonal zero.
+        for i in range(m):
+            for j in range(n):
+                if i != j:
+                    assert D[i, j] == 0
+        # Non-negative, divisibility chain, zeros trail.
+        for k, d in enumerate(diag):
+            assert d >= 0
+            if k + 1 < len(diag) and d != 0 and diag[k + 1] != 0:
+                assert diag[k + 1] % d == 0
+            if d == 0 and k + 1 < len(diag):
+                assert diag[k + 1] == 0
+
+    def test_known_example(self):
+        A = [[2, 4, 4], [-6, 6, 12], [10, 4, 16]]
+        U, D, V = smith_normal_form(A)
+        assert [int(D[i, i]) for i in range(3)] == [2, 2, 156]
+
+
+class TestUnimodular:
+    def test_cases(self):
+        assert is_unimodular([[1, 1], [0, 1]])
+        assert not is_unimodular([[2, 0], [0, 1]])
+        assert not is_unimodular([[1, 0, 0], [0, 1, 0]])
