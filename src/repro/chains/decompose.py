@@ -101,8 +101,7 @@ class ChainSpec:
     last: AffineExpr
 
     def concrete(self, binding) -> list[int]:
-        f = self.first.evaluate_int(binding) if isinstance(
-            self.first, QuasiAffineExpr) else self.first.evaluate_int(binding)
+        f = self.first.evaluate_int(binding)
         l = self.last.evaluate_int(binding)
         if self.order == "desc":
             return list(range(f, l - 1, -1))
@@ -164,14 +163,7 @@ def symbolic_chains(spec: HighLevelSpec,
     #   k* = (b_down - b_up) / (s_up - s_down).
     denom = s_up - s_down
     numer = b_down - b_up
-    # k* as a quasi-affine floor; scale to integer coefficients.
-    scale = denom.denominator
-    for c in numer.coeffs.values():
-        scale = scale * c.denominator // __import__("math").gcd(
-            scale, c.denominator)
-    scaled_numer = numer * (denom * scale)
-    # floor(numer/denom) = floor(scaled_numer / (denom^2 * scale)) — keep it
-    # simple: both DP-style inputs give integer-coefficient numer and denom.
+    # Both DP-style inputs give integer-coefficient numer and denom.
     if denom.denominator != 1 or not numer.is_integer_form():
         raise ChainDecompositionError(
             "non-integral envelope crossing; use greedy_chains")

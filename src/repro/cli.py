@@ -33,6 +33,7 @@ from repro.report import (
     render_array,
     render_cell_actions,
 )
+from repro.util.instrument import STATS
 
 INTERCONNECT_ALIASES = {
     "fig1": "fig1-unidirectional",
@@ -144,9 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Synthesize non-uniform systolic designs "
                     "(Guerra & Melhem, 1986)")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--stats", action="store_true",
+                        help="print solver instrumentation (candidates "
+                             "examined, cache hits, stage wall times)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("synthesize", help="synthesize one design")
+    p = sub.add_parser("synthesize", help="synthesize one design",
+                       parents=[common])
     p.add_argument("--problem", choices=sorted(PROBLEMS), default="dp")
     p.add_argument("--interconnect", default="fig1")
     p.add_argument("--n", type=int, default=8)
@@ -155,7 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the design on the systolic machine")
     p.set_defaults(fn=cmd_synthesize)
 
-    p = sub.add_parser("explore", help="enumerate convolution designs")
+    p = sub.add_parser("explore", help="enumerate convolution designs",
+                       parents=[common])
     p.add_argument("--recurrence", choices=["backward", "forward"],
                    default="backward")
     p.add_argument("--interconnect", default="linear")
@@ -164,11 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-bound", type=int, default=2)
     p.set_defaults(fn=cmd_explore)
 
-    p = sub.add_parser("figures", help="print both DP arrays")
+    p = sub.add_parser("figures", help="print both DP arrays",
+                       parents=[common])
     p.add_argument("--n", type=int, default=8)
     p.set_defaults(fn=cmd_figures)
 
-    p = sub.add_parser("cell", help="one cell's action timetable")
+    p = sub.add_parser("cell", help="one cell's action timetable",
+                       parents=[common])
     p.add_argument("--interconnect", default="fig2")
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--x", type=int, required=True)
@@ -179,7 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    rc = args.fn(args)
+    if getattr(args, "stats", False):
+        print()
+        print(STATS.report())
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

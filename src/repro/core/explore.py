@@ -12,9 +12,8 @@ Tables 1 and 2: which named designs (W1/W2/R2) arise from which recurrence.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -24,9 +23,8 @@ from repro.core.design import Design
 from repro.deps.extract import module_dependence_matrix
 from repro.ir.program import RecurrenceSystem
 from repro.schedule.linear import LinearSchedule
-from repro.schedule.solver import valid_coefficient_vectors
+from repro.schedule.solver import _valid_candidates
 from repro.space.allocation import cells_used, enumerate_space_maps
-from repro.space.diophantine import LinkDecomposer
 
 
 @dataclass(frozen=True)
@@ -54,16 +52,22 @@ def explore_uniform(system: RecurrenceSystem, params: Mapping[str, int],
         raise ValueError("explore_uniform handles single-module systems")
     (name, module), = system.modules.items()
     deps = module_dependence_matrix(module)
-    pts = np.array(list(module.domain.points(params)), dtype=np.int64)
+    pts = module.domain.points_array(params)
     decomposer = interconnect.decomposer()
+
+    # All candidate schedules and their makespans in two matrix ops.
+    candidates = _valid_candidates(deps, len(module.dims), time_bound)
+    if pts.shape[0] and candidates.shape[0]:
+        all_times = candidates @ pts.T
+        spans = all_times.max(axis=1) - all_times.min(axis=1)
+    else:
+        spans = np.zeros(candidates.shape[0], dtype=np.int64)
 
     results: list[ExploredDesign] = []
     seen: set[tuple] = set()
-    for coeffs in valid_coefficient_vectors(deps, len(module.dims),
-                                            time_bound):
+    for row, makespan in zip(candidates, spans.tolist()):
+        coeffs = tuple(int(c) for c in row)
         schedule = LinearSchedule(module.dims, coeffs)
-        times = schedule.times(pts)
-        makespan = int(times.max() - times.min())
         for smap in enumerate_space_maps(
                 module.dims, interconnect.label_dim, deps, schedule,
                 decomposer, pts, bound=space_bound):

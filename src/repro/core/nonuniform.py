@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.arrays.interconnect import Interconnect
 from repro.core.design import Design
 from repro.core.globals import link_constraints
@@ -38,6 +36,7 @@ from repro.space.multimodule import (
     NoSpaceMapExists,
     solve_multimodule_space,
 )
+from repro.util.instrument import STATS
 
 
 def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
@@ -57,25 +56,25 @@ def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
 
     points = {}
     problems = []
-    for name, module in system.modules.items():
-        pts = list(module.domain.points(params))
-        arr = np.array(pts, dtype=np.int64).reshape(len(pts), len(module.dims))
-        points[name] = arr
-        problems.append(ModuleSchedulingProblem(name, module.dims,
-                                                deps[name], arr))
+    with STATS.stage("synthesize.enumerate"):
+        for name, module in system.modules.items():
+            arr = module.domain.points_array(params)
+            points[name] = arr
+            problems.append(ModuleSchedulingProblem(name, module.dims,
+                                                    deps[name], arr))
 
-    try:
-        time_solution = solve_multimodule(problems, constraints,
-                                          bound=time_bound,
-                                          offsets=schedule_offsets)
-    except NoScheduleExists:
-        if tuple(schedule_offsets) == (0,):
+    with STATS.stage("synthesize.schedule"):
+        try:
             time_solution = solve_multimodule(problems, constraints,
                                               bound=time_bound,
-                                              offsets=range(-time_bound,
-                                                            time_bound + 1))
-        else:
-            raise
+                                              offsets=schedule_offsets)
+        except NoScheduleExists:
+            if tuple(schedule_offsets) == (0,):
+                time_solution = solve_multimodule(
+                    problems, constraints, bound=time_bound,
+                    offsets=range(-time_bound, time_bound + 1))
+            else:
+                raise
     schedules = normalise_start(time_solution.schedules, problems, start=0)
 
     decomposer = interconnect.decomposer()
@@ -97,35 +96,38 @@ def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
 
     plans = ["plain"] if space_offsets is not None else ["plain", "translated"]
     best = None
-    last_error: Exception | None = None
-    for plan in plans:
-        space_problems = [
-            ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
-                               points[name], schedules[name],
-                               bound=space_bound, offsets=offsets_for(name, plan))
-            for name in system.modules]
-        try:
-            candidate = solve_multimodule_space(
-                space_problems, constraints, decomposer,
-                interconnect.label_dim)
-        except NoSpaceMapExists as exc:
-            last_error = exc
-            continue
-        if best is None or candidate.total_cells < best.total_cells:
-            best = candidate
-    if best is None:
-        # Final escalation: offsets everywhere.
-        space_problems = [
-            ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
-                               points[name], schedules[name],
-                               bound=space_bound, offsets=(-1, 0, 1))
-            for name in system.modules]
-        try:
-            best = solve_multimodule_space(
-                space_problems, constraints, decomposer,
-                interconnect.label_dim)
-        except NoSpaceMapExists:
-            raise last_error  # type: ignore[misc]
+    last_error: NoSpaceMapExists | None = None
+    with STATS.stage("synthesize.space"):
+        for plan in plans:
+            space_problems = [
+                ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
+                                   points[name], schedules[name],
+                                   bound=space_bound,
+                                   offsets=offsets_for(name, plan))
+                for name in system.modules]
+            try:
+                candidate = solve_multimodule_space(
+                    space_problems, constraints, decomposer,
+                    interconnect.label_dim)
+            except NoSpaceMapExists as exc:
+                last_error = exc
+                continue
+            if best is None or candidate.total_cells < best.total_cells:
+                best = candidate
+        if best is None:
+            # Final escalation: offsets everywhere.
+            space_problems = [
+                ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
+                                   points[name], schedules[name],
+                                   bound=space_bound, offsets=(-1, 0, 1))
+                for name in system.modules]
+            try:
+                best = solve_multimodule_space(
+                    space_problems, constraints, decomposer,
+                    interconnect.label_dim)
+            except NoSpaceMapExists as exc:
+                error = last_error if last_error is not None else exc
+                raise error from exc
     space_solution = best
 
     return Design(system=system, params=params, interconnect=interconnect,

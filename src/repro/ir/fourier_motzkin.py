@@ -13,6 +13,7 @@ A constraint is an :class:`~repro.ir.affine.AffineExpr` ``e`` interpreted as
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -146,3 +147,84 @@ def integer_bounds(constraints: Sequence[AffineExpr], name: str,
     ilo = None if lo is None else -((-lo.numerator) // lo.denominator)
     ihi = None if hi is None else hi.numerator // hi.denominator
     return ilo, ihi
+
+
+# -- compiled bound rows (vectorised enumeration support) ---------------------
+#
+# Lattice-point enumeration evaluates per-dimension bounds at every node of
+# the search tree.  Doing that through AffineExpr.partial builds thousands of
+# throw-away Fraction expressions.  Instead, the eliminations are performed
+# once symbolically and each resulting bound is frozen into an integer *bound
+# row* ``(div, const, coeffs)`` meaning
+#
+#     div * x  +  coeffs . prefix  +  const  >=  0        (div != 0, integer)
+#
+# so a concrete prefix yields the bound with two integer ops — and a whole
+# batch of candidate prefixes can be evaluated with one matrix product.
+
+class BoundRows:
+    """Integer lower/upper bound rows of one dimension over a prefix."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: list[tuple[int, int, tuple[int, ...]]],
+                 upper: list[tuple[int, int, tuple[int, ...]]]) -> None:
+        self.lower = lower   # div > 0:  x >= ceil(-(coeffs.prefix + const)/div)
+        self.upper = upper   # div < 0:  x <= floor((coeffs.prefix + const)/-div)
+
+    def evaluate(self, prefix: Sequence[int]) -> tuple[int | None, int | None]:
+        """Exact integer (lo, hi) for one prefix; ``None`` = unbounded."""
+        lo: int | None = None
+        hi: int | None = None
+        for div, const, coeffs in self.lower:
+            rest = const
+            for c, v in zip(coeffs, prefix):
+                rest += c * v
+            bound = -(rest // div)
+            if lo is None or bound > lo:
+                lo = bound
+        for div, const, coeffs in self.upper:
+            rest = const
+            for c, v in zip(coeffs, prefix):
+                rest += c * v
+            bound = rest // -div
+            if hi is None or bound < hi:
+                hi = bound
+        return lo, hi
+
+
+def _integer_row(coeff: Fraction, rest: AffineExpr,
+                 prefix_names: Sequence[str]
+                 ) -> tuple[int, int, tuple[int, ...]]:
+    """Scale ``coeff * x + rest >= 0`` to integer coefficients."""
+    denoms = [coeff.denominator, rest.const_term.denominator]
+    denoms += [c.denominator for c in rest.coeffs.values()]
+    scale = 1
+    for d in denoms:
+        scale = scale * d // math.gcd(scale, d)
+    div = int(coeff * scale)
+    const = int(rest.const_term * scale)
+    coeffs = tuple(int(rest.coeff(n) * scale) for n in prefix_names)
+    return div, const, coeffs
+
+
+def compile_bound_rows(constraints: Sequence[AffineExpr], name: str,
+                       later_names: Sequence[str],
+                       prefix_names: Sequence[str]) -> BoundRows:
+    """Project out ``later_names`` and freeze the bounds of ``name`` into
+    integer rows over ``prefix_names``.
+
+    Free constant constraints of the projection are checked here (a violated
+    one means the whole system is empty → :class:`Infeasible`); free
+    non-constant constraints are redundant for enumeration — they are implied
+    by the bounds enforced at the prefix dimensions' own levels, because
+    Fourier–Motzkin projections are exact over the rationals.
+    """
+    projected = eliminate_all(deduplicate(constraints), later_names)
+    lowers, uppers, free = _split_on(projected, name)
+    for e in free:
+        if e.is_constant() and e.const_term < 0:
+            raise Infeasible(f"{e} >= 0 violated")
+    lower_rows = [_integer_row(c, rest, prefix_names) for c, rest in lowers]
+    upper_rows = [_integer_row(c, rest, prefix_names) for c, rest in uppers]
+    return BoundRows(lower_rows, upper_rows)

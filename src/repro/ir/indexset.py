@@ -13,8 +13,85 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.ir import fourier_motzkin as fm
 from repro.ir.affine import AffineExpr, ExprLike, Number
+from repro.util.instrument import STATS
+
+
+class _CompiledDomain:
+    """A polyhedron with concrete parameters, compiled for enumeration.
+
+    All Fourier–Motzkin eliminations run once, here: for each dimension the
+    bounds (after projecting out the later dimensions) are frozen into
+    integer :class:`~repro.ir.fourier_motzkin.BoundRows`.  Enumeration then
+    needs only integer arithmetic per search-tree node — no per-point
+    ``AffineExpr.partial`` substitutions and no per-point eliminations — and
+    the innermost dimension is emitted as a whole ``[lo, hi]`` block at once.
+    """
+
+    __slots__ = ("dims", "levels", "empty")
+
+    def __init__(self, dims: tuple[str, ...],
+                 constraints: Sequence[AffineExpr]) -> None:
+        self.dims = dims
+        self.levels: list[fm.BoundRows] = []
+        self.empty = False
+        try:
+            base = fm.deduplicate(list(constraints))
+        except fm.Infeasible:
+            self.empty = True
+            return
+        for depth, name in enumerate(dims):
+            later = list(dims[depth + 1:])
+            prefix = list(dims[:depth])
+            try:
+                self.levels.append(
+                    fm.compile_bound_rows(base, name, later, prefix))
+            except fm.Infeasible:
+                self.empty = True
+                return
+
+    def blocks(self) -> Iterator[tuple[tuple[int, ...], int, int]]:
+        """Yield ``(prefix, lo, hi)`` runs of the innermost dimension, in
+        lexicographic order.  Raises ValueError on an unbounded dimension
+        (only when the enumeration actually reaches it, matching the
+        recursive enumerator this replaces)."""
+        if self.empty or not self.dims:
+            return
+        last = len(self.dims) - 1
+
+        def recurse(depth: int, prefix: tuple[int, ...]
+                    ) -> Iterator[tuple[tuple[int, ...], int, int]]:
+            lo, hi = self.levels[depth].evaluate(prefix)
+            if lo is None or hi is None:
+                raise ValueError(
+                    f"dimension {self.dims[depth]} is unbounded; "
+                    "cannot enumerate")
+            if depth == last:
+                if lo <= hi:
+                    yield prefix, lo, hi
+                return
+            for value in range(lo, hi + 1):
+                yield from recurse(depth + 1, prefix + (value,))
+
+        yield from recurse(0, ())
+
+
+# Process-wide memoization: synthesis, exploration and the benchmarks all
+# re-enumerate the same few domains at the same parameter values over and
+# over.  Keys are (dims, constraints, bound params) — fully value-based, so
+# distinct Polyhedron instances describing the same set share entries.
+_MAX_CACHED_ARRAYS = 1024
+_compile_cache: dict[tuple, _CompiledDomain] = {}
+_points_cache: dict[tuple, np.ndarray] = {}
+
+
+def clear_enumeration_caches() -> None:
+    """Drop all memoized compiled domains and point arrays."""
+    _compile_cache.clear()
+    _points_cache.clear()
 
 
 def ge(lhs: ExprLike, rhs: ExprLike) -> AffineExpr:
@@ -132,41 +209,75 @@ class Polyhedron:
                                    if not params or p not in params]
         return not fm.is_satisfiable(constraints, names)
 
-    def points(self, params: Mapping[str, Number] | None = None
-               ) -> Iterator[tuple[int, ...]]:
-        """Enumerate all lattice points (in lexicographic dim order)."""
-        constraints = [e.partial(params) for e in self.constraints] if params \
-            else list(self.constraints)
+    def _cache_key(self, params: Mapping[str, Number] | None) -> tuple:
+        relevant = set(self.dims) | set(self.params)
+        bound = tuple(sorted(
+            (k, v) for k, v in (params or {}).items() if k in relevant))
+        return (self.dims, self.constraints, bound)
+
+    def _compiled(self, params: Mapping[str, Number] | None) -> _CompiledDomain:
         unbound = [p for p in self.params if not params or p not in params]
         if unbound:
             raise KeyError(f"unbound parameters {unbound}")
-        yield from self._enumerate(constraints, 0, ())
+        key = self._cache_key(params)
+        compiled = _compile_cache.get(key)
+        if compiled is None:
+            constraints = [e.partial(params) for e in self.constraints] \
+                if params else list(self.constraints)
+            compiled = _CompiledDomain(self.dims, constraints)
+            _compile_cache[key] = compiled
+        return compiled
 
-    def _enumerate(self, constraints: list[AffineExpr], depth: int,
-                   prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
-        if depth == len(self.dims):
-            yield prefix
+    def points(self, params: Mapping[str, Number] | None = None
+               ) -> Iterator[tuple[int, ...]]:
+        """Enumerate all lattice points (in lexicographic dim order)."""
+        compiled = self._compiled(params)
+        if not self.dims:
+            yield ()
             return
-        name = self.dims[depth]
-        later = list(self.dims[depth + 1:])
-        try:
-            lo, hi = fm.integer_bounds(constraints, name, later)
-        except fm.Infeasible:
-            return
-        if lo is None or hi is None:
-            raise ValueError(
-                f"dimension {name} is unbounded; cannot enumerate")
-        for value in range(lo, hi + 1):
-            narrowed = [e.partial({name: value}) for e in constraints]
-            try:
-                narrowed = fm.deduplicate(narrowed)
-            except fm.Infeasible:
-                continue
-            yield from self._enumerate(narrowed, depth + 1, prefix + (value,))
+        for prefix, lo, hi in compiled.blocks():
+            for value in range(lo, hi + 1):
+                yield prefix + (value,)
+
+    def points_array(self, params: Mapping[str, Number] | None = None
+                     ) -> np.ndarray:
+        """All lattice points as a read-only ``(N, len(dims))`` int64 array,
+        in the same lexicographic order as :meth:`points`.
+
+        Results are memoized process-wide by (dims, constraints, params), so
+        repeated synthesis/exploration over the same domain enumerates once.
+        The returned array is shared — treat it as immutable (it is marked
+        non-writeable).
+        """
+        key = self._cache_key(params)
+        cached = _points_cache.get(key)
+        if cached is not None:
+            STATS.count("points.cache_hit")
+            return cached
+        STATS.count("points.cache_miss")
+        compiled = self._compiled(params)
+        ndim = len(self.dims)
+        if ndim == 0:
+            arr = np.zeros((1, 0), dtype=np.int64)
+        else:
+            blocks = []
+            for prefix, lo, hi in compiled.blocks():
+                block = np.empty((hi - lo + 1, ndim), dtype=np.int64)
+                if ndim > 1:
+                    block[:, :-1] = prefix
+                block[:, -1] = np.arange(lo, hi + 1, dtype=np.int64)
+                blocks.append(block)
+            arr = (np.concatenate(blocks, axis=0) if blocks
+                   else np.zeros((0, ndim), dtype=np.int64))
+        arr.setflags(write=False)
+        if len(_points_cache) >= _MAX_CACHED_ARRAYS:
+            _points_cache.pop(next(iter(_points_cache)))
+        _points_cache[key] = arr
+        return arr
 
     def count(self, params: Mapping[str, Number] | None = None) -> int:
         """Number of lattice points."""
-        return sum(1 for _ in self.points(params))
+        return int(self.points_array(params).shape[0])
 
     def project(self, keep: Sequence[str]) -> "Polyhedron":
         """Project onto a subset of the dimensions (rational projection)."""

@@ -12,12 +12,17 @@ assigned.  The objective is the *global* makespan — the spread between the
 earliest and latest event across all modules — with deterministic
 tie-breaking, so the paper's optimal ``λ = (-1, 2, -1)``, ``μ = (-2, 1, 1)``,
 ``σ = (-2, 2)`` is reproduced exactly.
+
+All per-candidate arithmetic is hoisted out of the backtracking loop: each
+module's candidate times are one ``points @ C.T`` product (only the per
+-candidate min/max survive), and each global constraint's endpoint times are
+one ``instance_points @ C.T`` product per side, so the inner loop reduces to
+integer comparisons over precomputed columns.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -25,7 +30,12 @@ import numpy as np
 from repro.deps.vectors import DependenceMatrix
 from repro.schedule.constraints import GlobalConstraint
 from repro.schedule.linear import LinearSchedule
-from repro.schedule.solver import NoScheduleExists, valid_coefficient_vectors
+from repro.schedule.solver import (
+    NoScheduleExists,
+    coefficient_grid,
+    valid_coefficient_vectors,
+)
+from repro.util.instrument import STATS
 
 
 @dataclass
@@ -45,11 +55,17 @@ class ModuleSchedulingProblem:
 
     def candidates(self, bound: int, offsets: Sequence[int]
                    ) -> list[tuple[tuple[int, ...], int]]:
-        """Locally valid (coeffs, offset) pairs, deterministically ordered."""
+        """Locally valid (coeffs, offset) pairs, deterministically ordered.
+
+        A module without local dependences accepts *every* coefficient
+        vector (including zero — the global constraints are what pin such a
+        module down); with dependences the vectorised validity filter of the
+        single-module solver applies.
+        """
         dim = len(self.dims)
         if self.deps is None or len(self.deps) == 0:
-            coeff_iter = itertools.product(range(-bound, bound + 1), repeat=dim)
-            coeff_list = list(coeff_iter)
+            coeff_list = [tuple(int(c) for c in row)
+                          for row in coefficient_grid(dim, bound)]
         else:
             coeff_list = list(valid_coefficient_vectors(self.deps, dim, bound))
         return [(c, o) for c in coeff_list for o in offsets]
@@ -62,9 +78,13 @@ class MultiScheduleSolution:
     candidates_examined: int
 
 
-def _times_for(problem: ModuleSchedulingProblem, coeffs: tuple[int, ...],
-               offset: int) -> np.ndarray:
-    return problem.points @ np.array(coeffs, dtype=np.int64) + offset
+def _candidate_arrays(candidates: Sequence[tuple[tuple[int, ...], int]]
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Split (coeffs, offset) pairs into a coefficient matrix and an offset
+    vector (both int64)."""
+    coeffs = np.array([c for c, _ in candidates], dtype=np.int64)
+    offsets = np.array([o for _, o in candidates], dtype=np.int64)
+    return coeffs, offsets
 
 
 def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
@@ -98,53 +118,62 @@ def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
         at = max(position[gc.dst_module], position[gc.src_module])
         check_at.setdefault(at, []).append(gc)
 
-    # Precompute constraint-instance times lazily per (module, candidate).
-    times_cache: dict[tuple[str, tuple, int], np.ndarray] = {}
+    # Hoisted candidate arithmetic: per-candidate (min, max) event times per
+    # module, and per-constraint endpoint time columns, each from a single
+    # matrix product.
+    cand_coeffs: dict[str, np.ndarray] = {}
+    cand_offsets: dict[str, np.ndarray] = {}
+    cand_tmin: dict[str, np.ndarray] = {}
+    cand_tmax: dict[str, np.ndarray] = {}
+    for p in order:
+        C, O = _candidate_arrays(candidate_lists[p.name])
+        cand_coeffs[p.name], cand_offsets[p.name] = C, O
+        if p.points.shape[0]:
+            times = p.points @ C.T
+            cand_tmin[p.name] = times.min(axis=0) + O
+            cand_tmax[p.name] = times.max(axis=0) + O
 
-    def times(name: str, coeffs: tuple[int, ...], offset: int) -> np.ndarray:
-        key = (name, coeffs, offset)
-        if key not in times_cache:
-            times_cache[key] = _times_for(by_name[name], coeffs, offset)
-        return times_cache[key]
-
-    # Per-constraint endpoint times also need caching; compute on the fly
-    # from the instance point arrays (cheap matrix-vector products).
-    def instance_times(points: np.ndarray, coeffs: tuple[int, ...],
-                       offset: int) -> np.ndarray:
+    def endpoint_times(points: np.ndarray, name: str) -> np.ndarray:
+        """(instances, n_candidates) times of constraint endpoints under
+        every candidate of ``name``."""
         if points.shape[0] == 0:
-            return np.zeros(0, dtype=np.int64)
-        return points @ np.array(coeffs, dtype=np.int64) + offset
+            return np.zeros((0, len(candidate_lists[name])), dtype=np.int64)
+        return points @ cand_coeffs[name].T + cand_offsets[name]
+
+    gc_dst_times = {id(gc): endpoint_times(gc.dst_points, gc.dst_module)
+                    for gc in constraints}
+    gc_src_times = {id(gc): endpoint_times(gc.src_points, gc.src_module)
+                    for gc in constraints}
 
     best_key: tuple | None = None
-    best_assignment: dict[str, tuple[tuple[int, ...], int]] | None = None
+    best_assignment: dict[str, int] | None = None
     examined = 0
 
-    assignment: dict[str, tuple[tuple[int, ...], int]] = {}
+    assignment: dict[str, int] = {}     # module name -> candidate index
 
-    def global_span(assigned: dict[str, tuple[tuple[int, ...], int]]) -> tuple[int, int] | None:
+    def global_span() -> int:
         lo = None
         hi = None
-        for name, (coeffs, offset) in assigned.items():
-            prob = by_name[name]
-            if prob.points.shape[0] == 0:
+        for name, ci in assignment.items():
+            if name not in cand_tmin:
                 continue
-            t = times(name, coeffs, offset)
-            tmin, tmax = int(t.min()), int(t.max())
+            tmin = int(cand_tmin[name][ci])
+            tmax = int(cand_tmax[name][ci])
             lo = tmin if lo is None else min(lo, tmin)
             hi = tmax if hi is None else max(hi, tmax)
         if lo is None:
-            return None
-        return lo, hi
+            return 0
+        return hi - lo
 
     def recurse(idx: int) -> None:
         nonlocal best_key, best_assignment, examined
         if idx == len(order):
             examined += 1
-            span = global_span(assignment)
-            total = 0 if span is None else span[1] - span[0]
+            total = global_span()
             flat_coeffs = tuple(
                 c for name in (p.name for p in order)
-                for c in assignment[name][0] + (assignment[name][1],))
+                for c in (candidate_lists[name][assignment[name]][0]
+                          + (candidate_lists[name][assignment[name]][1],)))
             l1 = sum(abs(c) for c in flat_coeffs)
             key = (total, l1, flat_coeffs)
             if best_key is None or key < best_key:
@@ -152,14 +181,13 @@ def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
                 best_assignment = dict(assignment)
             return
         prob = order[idx]
-        for coeffs, offset in candidate_lists[prob.name]:
-            assignment[prob.name] = (coeffs, offset)
+        checks = check_at.get(idx, [])
+        for ci in range(len(candidate_lists[prob.name])):
+            assignment[prob.name] = ci
             feasible = True
-            for gc in check_at.get(idx, []):
-                d_coeffs, d_off = assignment[gc.dst_module]
-                s_coeffs, s_off = assignment[gc.src_module]
-                dst_t = instance_times(gc.dst_points, d_coeffs, d_off)
-                src_t = instance_times(gc.src_points, s_coeffs, s_off)
+            for gc in checks:
+                dst_t = gc_dst_times[id(gc)][:, assignment[gc.dst_module]]
+                src_t = gc_src_times[id(gc)][:, assignment[gc.src_module]]
                 if not gc.timing_ok(dst_t, src_t):
                     feasible = False
                     break
@@ -168,13 +196,15 @@ def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
         assignment.pop(prob.name, None)
 
     recurse(0)
+    STATS.count("multimodule.assignments_examined", examined)
     if best_assignment is None:
         raise NoScheduleExists(
             "no joint schedule satisfies the global constraints "
             f"within bound {bound}")
-    schedules = {
-        name: LinearSchedule(by_name[name].dims, coeffs, offset)
-        for name, (coeffs, offset) in best_assignment.items()}
+    schedules = {}
+    for name, ci in best_assignment.items():
+        coeffs, offset = candidate_lists[name][ci]
+        schedules[name] = LinearSchedule(by_name[name].dims, coeffs, offset)
     return MultiScheduleSolution(schedules, best_key[0], examined)
 
 

@@ -8,11 +8,22 @@ optimality against an LP relaxation (:func:`lp_lower_bound`) built with
 scipy.  Bounded enumeration is exact for the coefficient magnitudes that
 matter: an optimal schedule of a system with unit-ish dependence vectors has
 small coefficients, and the bound is a caller-visible parameter.
+
+The search is vectorised: the full ``(2*bound+1)^dim`` candidate grid is
+materialised once (and memoized per ``(dim, bound)``), validity ``C @ D >= 1``
+is one matrix comparison, and all makespans come from a single
+``C @ points.T`` product.  With ``use_lp_bound=True`` the scan walks the
+valid candidates in ``(L1, lex)`` order and stops as soon as the running
+optimum meets the LP lower bound — the chosen schedule and makespan are
+provably identical to the exhaustive scan (any unscanned candidate has a
+makespan no smaller and a strictly worse tie-break), but ``optima`` may then
+be a subset and ``candidates_examined`` smaller.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
@@ -22,6 +33,7 @@ from scipy.optimize import linprog
 from repro.deps.vectors import DependenceMatrix
 from repro.ir.indexset import Polyhedron
 from repro.schedule.linear import LinearSchedule
+from repro.util.instrument import STATS
 
 
 class NoScheduleExists(Exception):
@@ -38,19 +50,57 @@ class ScheduleSolution:
     candidates_examined: int
 
 
+_grid_cache: dict[tuple[int, int], np.ndarray] = {}
+
+
+def coefficient_grid(dim: int, bound: int) -> np.ndarray:
+    """All integer vectors of ``[-bound, bound]^dim`` as a read-only
+    ``((2*bound+1)^dim, dim)`` array, rows in the same lexicographic order as
+    ``itertools.product(range(-bound, bound + 1), repeat=dim)``.  Memoized —
+    every solver invocation at the same (dim, bound) reuses the grid."""
+    key = (dim, bound)
+    grid = _grid_cache.get(key)
+    if grid is None:
+        if dim == 0:
+            grid = np.zeros((1, 0), dtype=np.int64)
+        else:
+            side = np.arange(-bound, bound + 1, dtype=np.int64)
+            mesh = np.meshgrid(*([side] * dim), indexing="ij")
+            grid = np.stack([m.ravel() for m in mesh], axis=1)
+        grid.setflags(write=False)
+        _grid_cache[key] = grid
+    return grid
+
+
+def _valid_candidates(deps: DependenceMatrix, dim: int,
+                      bound: int) -> np.ndarray:
+    """Rows of the candidate grid satisfying ``t . d >= 1`` for every
+    dependence, zero vector excluded, order preserved."""
+    grid = coefficient_grid(dim, bound)
+    mask = np.any(grid != 0, axis=1)
+    D = deps.matrix() if deps is not None and len(deps) > 0 else None
+    if D is not None and D.size > 0:
+        mask &= np.all(grid @ D >= 1, axis=1)
+    return grid[mask]
+
+
 def valid_coefficient_vectors(deps: DependenceMatrix, dim: int,
                               bound: int) -> Iterator[tuple[int, ...]]:
     """All integer vectors in ``[-bound, bound]^dim`` with ``t . d >= 1`` for
-    every dependence vector ``d`` (excluding the zero vector trivially)."""
-    vectors = [v.vector for v in deps.vectors]
-    for coeffs in itertools.product(range(-bound, bound + 1), repeat=dim):
-        if all(sum(c * x for c, x in zip(coeffs, d)) >= 1 for d in vectors):
-            yield coeffs
+    every dependence vector ``d``.
+
+    The all-zero vector is rejected explicitly: with a non-empty dependence
+    matrix it can never satisfy ``t . d >= 1``, and with an *empty* one it
+    would otherwise slip through and produce a singular transformation,
+    violating the nonsingularity requirement of eq. (2).
+    """
+    for row in _valid_candidates(deps, dim, bound):
+        yield tuple(int(c) for c in row)
 
 
 def optimal_schedule(deps: DependenceMatrix, domain: Polyhedron,
-                     params: Mapping[str, int], bound: int = 3
-                     ) -> ScheduleSolution:
+                     params: Mapping[str, int], bound: int = 3,
+                     use_lp_bound: bool = False) -> ScheduleSolution:
     """Exhaustively find the valid schedule minimising the makespan.
 
     Ties are broken by smaller coefficient L1 norm, then lexicographically —
@@ -58,6 +108,112 @@ def optimal_schedule(deps: DependenceMatrix, domain: Polyhedron,
     values" convention.
     """
     dims = domain.dims
+    points = domain.points_array(params)
+    if points.size == 0:
+        raise ValueError("cannot schedule an empty domain")
+    candidates = _valid_candidates(deps, len(dims), bound)
+    if candidates.shape[0] == 0:
+        raise NoScheduleExists(
+            f"no valid schedule with coefficients in [-{bound}, {bound}] "
+            f"for dependencies {deps}")
+    if use_lp_bound:
+        solution = _bounded_scan(dims, candidates, points, deps, domain,
+                                 params)
+    else:
+        solution = _full_scan(dims, candidates, points)
+    STATS.count("solver.searches")
+    STATS.count("solver.candidates_examined", solution.candidates_examined)
+    return solution
+
+
+def _assemble(dims: tuple[str, ...], candidates: np.ndarray,
+              spans: np.ndarray, examined: int) -> ScheduleSolution:
+    """Pick the optimum and rebuild the ``optima`` sequence exactly as the
+    historical per-candidate loop did: first minimum-makespan candidate
+    seeds the list, subsequent ones are inserted at the front whenever they
+    improve the running (L1, lex) tie-break and appended otherwise."""
+    best_span = int(spans.min())
+    where = np.flatnonzero(spans == best_span)
+    l1s = np.abs(candidates[where]).sum(axis=1)
+    optima: list[LinearSchedule] = []
+    best_l1: int | None = None
+    chosen: LinearSchedule | None = None
+    for pos, idx in enumerate(where):
+        coeffs = tuple(int(c) for c in candidates[idx])
+        sched = LinearSchedule(dims, coeffs)
+        l1 = int(l1s[pos])
+        if best_l1 is None or l1 < best_l1:
+            optima.insert(0, sched)
+            best_l1 = l1
+            chosen = sched
+        else:
+            optima.append(sched)
+    assert chosen is not None
+    return ScheduleSolution(chosen, best_span, tuple(optima), examined)
+
+
+def _full_scan(dims: tuple[str, ...], candidates: np.ndarray,
+               points: np.ndarray) -> ScheduleSolution:
+    times = candidates @ points.T
+    spans = times.max(axis=1) - times.min(axis=1)
+    return _assemble(dims, candidates, spans, int(candidates.shape[0]))
+
+
+_SCAN_CHUNK = 64
+
+
+def _bounded_scan(dims: tuple[str, ...], candidates: np.ndarray,
+                  points: np.ndarray, deps: DependenceMatrix,
+                  domain: Polyhedron, params: Mapping[str, int]
+                  ) -> ScheduleSolution:
+    """Scan candidates in (L1, lex) order, chunk by chunk, stopping once the
+    best makespan so far meets the LP lower bound.  Unscanned candidates all
+    carry a strictly worse (makespan, L1, lex) key, so the chosen schedule
+    and its makespan match the exhaustive scan exactly."""
+    target = math.ceil(lp_lower_bound(deps, domain, params) - 1e-9)
+    l1s = np.abs(candidates).sum(axis=1)
+    keys = tuple(candidates[:, k] for k in range(candidates.shape[1] - 1,
+                                                 -1, -1)) + (l1s,)
+    order = np.lexsort(keys)
+    ranked = candidates[order]
+    best_span: int | None = None
+    kept: list[np.ndarray] = []
+    kept_spans: list[np.ndarray] = []
+    examined = 0
+    for start in range(0, ranked.shape[0], _SCAN_CHUNK):
+        chunk = ranked[start:start + _SCAN_CHUNK]
+        times = chunk @ points.T
+        spans = times.max(axis=1) - times.min(axis=1)
+        kept.append(chunk)
+        kept_spans.append(spans)
+        examined += int(chunk.shape[0])
+        chunk_best = int(spans.min())
+        if best_span is None or chunk_best < best_span:
+            best_span = chunk_best
+        if best_span <= target:
+            STATS.count("solver.lp_early_exits")
+            STATS.count("solver.candidates_skipped",
+                        int(ranked.shape[0]) - examined)
+            break
+    scanned = np.concatenate(kept, axis=0)
+    scanned_spans = np.concatenate(kept_spans)
+    # Restore grid (lex) order among the scanned candidates so the optima
+    # replay sees them in the same sequence as the exhaustive scan.
+    scanned_order = np.lexsort(
+        tuple(scanned[:, k] for k in range(scanned.shape[1] - 1, -1, -1)))
+    return _assemble(dims, scanned[scanned_order],
+                     scanned_spans[scanned_order], examined)
+
+
+def optimal_schedule_reference(deps: DependenceMatrix, domain: Polyhedron,
+                               params: Mapping[str, int], bound: int = 3
+                               ) -> ScheduleSolution:
+    """The original per-candidate pure-Python search, kept as the oracle the
+    vectorised solver is cross-checked (and benchmarked) against.  Requires a
+    non-empty dependence matrix — the historical loop predates the explicit
+    zero-vector rejection."""
+    dims = domain.dims
+    vectors = [v.vector for v in deps.vectors]
     points = np.array(list(domain.points(params)), dtype=np.int64)
     if points.size == 0:
         raise ValueError("cannot schedule an empty domain")
@@ -65,7 +221,11 @@ def optimal_schedule(deps: DependenceMatrix, domain: Polyhedron,
     optima: list[LinearSchedule] = []
     best_span: int | None = None
     examined = 0
-    for coeffs in valid_coefficient_vectors(deps, len(dims), bound):
+    for coeffs in itertools.product(range(-bound, bound + 1),
+                                    repeat=len(dims)):
+        if not all(sum(c * x for c, x in zip(coeffs, d)) >= 1
+                   for d in vectors):
+            continue
         examined += 1
         times = points @ np.array(coeffs, dtype=np.int64)
         span = int(times.max() - times.min())
@@ -99,7 +259,7 @@ def lp_lower_bound(deps: DependenceMatrix, domain: Polyhedron,
     """
     dims = domain.dims
     ndim = len(dims)
-    points = np.array(list(domain.points(params)), dtype=np.float64)
+    points = domain.points_array(params).astype(np.float64)
     n_pts = points.shape[0]
     if n_pts == 0:
         raise ValueError("empty domain")

@@ -8,16 +8,22 @@ variables will be mapped cannot be more than d."
 
 The solver backtracks over modules; per module the locally feasible space
 maps come from :func:`repro.space.allocation.enumerate_space_maps`, and each
-global constraint is checked (vectorised, with memoised link-distance
-queries) as soon as both endpoints are mapped.  The objective is the total
-number of distinct cells — the paper's Section VI motivation for the new
-design is exactly processor count.
+global constraint is checked as soon as both endpoints are mapped.  The
+objective is the total number of distinct cells — the paper's Section VI
+motivation for the new design is exactly processor count.
+
+The backtracking revisits the same (constraint, dst map, src map) triples
+thousands of times as the other modules' assignments churn, so adjacency
+verdicts are memoized per candidate-index pair, endpoint times/cells are
+precomputed once per (constraint, candidate), and each candidate's occupied
+cell set and tie-break key are frozen up front — the hot loop is dictionary
+lookups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -31,6 +37,7 @@ from repro.space.allocation import (
     enumerate_space_maps,
 )
 from repro.space.diophantine import LinkDecomposer
+from repro.util.instrument import STATS
 
 
 class NoSpaceMapExists(Exception):
@@ -60,6 +67,23 @@ class MultiSpaceSolution:
     candidates_examined: int
 
 
+def _displacements_ok(disp: np.ndarray, gaps: Sequence[int],
+                      decomposer: LinkDecomposer) -> bool:
+    """Constraint (10) over enumerated instances: every displacement must be
+    link-reachable within its time gap.  Reachability is monotone in the
+    budget, so only the *minimum* gap per distinct displacement matters."""
+    tightest: dict[tuple[int, ...], int] = {}
+    for row, gap in zip(disp.tolist(), gaps):
+        key = tuple(row)
+        prev = tightest.get(key)
+        if prev is None or gap < prev:
+            tightest[key] = gap
+    for displacement, budget in tightest.items():
+        if not decomposer.reachable_within(displacement, budget):
+            return False
+    return True
+
+
 def adjacency_ok(gc: GlobalConstraint,
                  dst_sched: LinearSchedule, src_sched: LinearSchedule,
                  dst_map: SpaceMap, src_map: SpaceMap,
@@ -70,17 +94,8 @@ def adjacency_ok(gc: GlobalConstraint,
     dst_t = dst_sched.times(gc.dst_points)
     src_t = src_sched.times(gc.src_points)
     gaps = dst_t - src_t
-    dst_c = dst_map.cells(gc.dst_points)
-    src_c = src_map.cells(gc.src_points)
-    disp = dst_c - src_c
-    # Deduplicate (displacement, gap) pairs before the BFS distance queries.
-    stamped = np.column_stack([disp, gaps])
-    for row in np.unique(stamped, axis=0):
-        displacement = tuple(int(v) for v in row[:-1])
-        budget = int(row[-1])
-        if not decomposer.reachable_within(displacement, budget):
-            return False
-    return True
+    disp = dst_map.cells(gc.dst_points) - src_map.cells(gc.src_points)
+    return _displacements_ok(disp, gaps.tolist(), decomposer)
 
 
 def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
@@ -95,12 +110,12 @@ def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
     order = list(problems)
     by_name = {p.name: p for p in order}
     position = {p.name: idx for idx, p in enumerate(order)}
-    check_at: dict[int, list[GlobalConstraint]] = {}
-    for gc in constraints:
+    check_at: dict[int, list[int]] = {}
+    for gi, gc in enumerate(constraints):
         if gc.dst_module not in by_name or gc.src_module not in by_name:
             raise KeyError(f"constraint {gc.name} references unknown module")
         at = max(position[gc.dst_module], position[gc.src_module])
-        check_at.setdefault(at, []).append(gc)
+        check_at.setdefault(at, []).append(gi)
 
     candidate_lists: dict[str, list[SpaceMap]] = {}
     for p in order:
@@ -113,41 +128,82 @@ def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
                 f"(bound={p.bound}, offsets={tuple(p.offsets)})")
         candidate_lists[p.name] = cands
 
-    best_key: tuple | None = None
-    best_assignment: dict[str, SpaceMap] | None = None
-    examined = 0
-    assignment: dict[str, SpaceMap] = {}
+    # -- hoisted per-candidate data ------------------------------------------
+    # Occupied cells and tie-break key fragment of every candidate map.
+    cand_cells: dict[str, list[frozenset]] = {}
+    cand_key: dict[str, list[tuple]] = {}
+    for p in order:
+        cells_list = []
+        key_list = []
+        for cand in candidate_lists[p.name]:
+            cells_list.append(frozenset(cells_used(cand, p.points)))
+            key_list.append(tuple(
+                entry_preference(entry)
+                for row, off in zip(cand.matrix, cand.offset)
+                for entry in row + (off,)))
+        cand_cells[p.name] = cells_list
+        cand_key[p.name] = key_list
 
-    def flat_key(assigned: Mapping[str, SpaceMap]) -> tuple:
-        return tuple(
-            entry_preference(entry)
-            for p in order
-            for row, off in zip(assigned[p.name].matrix,
-                                assigned[p.name].offset)
-            for entry in row + (off,))
+    # Per-constraint instance gaps (schedules are fixed for the whole solve)
+    # and per-(constraint, candidate) endpoint cells.
+    gc_gaps: list[list[int]] = []
+    gc_dst_cells: list[list[np.ndarray]] = []
+    gc_src_cells: list[list[np.ndarray]] = []
+    for gc in constraints:
+        dst_p = by_name[gc.dst_module]
+        src_p = by_name[gc.src_module]
+        gaps = (dst_p.schedule.times(gc.dst_points)
+                - src_p.schedule.times(gc.src_points))
+        gc_gaps.append(gaps.tolist())
+        gc_dst_cells.append([cand.cells(gc.dst_points)
+                             for cand in candidate_lists[gc.dst_module]])
+        gc_src_cells.append([cand.cells(gc.src_points)
+                             for cand in candidate_lists[gc.src_module]])
+
+    adjacency_cache: dict[tuple[int, int, int], bool] = {}
+
+    def adjacency(gi: int, dst_ci: int, src_ci: int) -> bool:
+        if constraints[gi].instances == 0:
+            return True
+        key = (gi, dst_ci, src_ci)
+        verdict = adjacency_cache.get(key)
+        if verdict is None:
+            disp = gc_dst_cells[gi][dst_ci] - gc_src_cells[gi][src_ci]
+            verdict = _displacements_ok(disp, gc_gaps[gi], decomposer)
+            adjacency_cache[key] = verdict
+        else:
+            STATS.count("space.adjacency_cache_hits")
+        return verdict
+
+    best_key: tuple | None = None
+    best_assignment: dict[str, int] | None = None
+    examined = 0
+    assignment: dict[str, int] = {}    # module name -> candidate index
 
     def recurse(idx: int) -> None:
         nonlocal best_key, best_assignment, examined
         if idx == len(order):
             examined += 1
-            all_cells: set[tuple[int, ...]] = set()
+            all_cells: set = set()
             for p in order:
-                all_cells |= cells_used(assignment[p.name], p.points)
-            key = (len(all_cells), flat_key(assignment))
+                all_cells |= cand_cells[p.name][assignment[p.name]]
+            flat = tuple(
+                entry for p in order
+                for entry in cand_key[p.name][assignment[p.name]])
+            key = (len(all_cells), flat)
             if best_key is None or key < best_key:
                 best_key = key
                 best_assignment = dict(assignment)
             return
         prob = order[idx]
-        for cand in candidate_lists[prob.name]:
-            assignment[prob.name] = cand
+        checks = check_at.get(idx, [])
+        for ci in range(len(candidate_lists[prob.name])):
+            assignment[prob.name] = ci
             ok = True
-            for gc in check_at.get(idx, []):
-                dst_p = by_name[gc.dst_module]
-                src_p = by_name[gc.src_module]
-                if not adjacency_ok(gc, dst_p.schedule, src_p.schedule,
-                                    assignment[gc.dst_module],
-                                    assignment[gc.src_module], decomposer):
+            for gi in checks:
+                gc = constraints[gi]
+                if not adjacency(gi, assignment[gc.dst_module],
+                                 assignment[gc.src_module]):
                     ok = False
                     break
             if ok:
@@ -155,7 +211,10 @@ def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
         assignment.pop(prob.name, None)
 
     recurse(0)
+    STATS.count("space.assignments_examined", examined)
     if best_assignment is None:
         raise NoSpaceMapExists(
             "no joint space mapping satisfies the global adjacency constraints")
-    return MultiSpaceSolution(best_assignment, best_key[0], examined)
+    maps = {name: candidate_lists[name][ci]
+            for name, ci in best_assignment.items()}
+    return MultiSpaceSolution(maps, best_key[0], examined)

@@ -1,5 +1,7 @@
-"""Small shared utilities: exact integer math and validation helpers."""
+"""Small shared utilities: exact integer math, validation helpers and
+engine instrumentation."""
 
+from repro.util.instrument import STATS, Instrumentation
 from repro.util.intmath import (
     extended_gcd,
     gcd_vector,
@@ -9,6 +11,8 @@ from repro.util.intmath import (
 )
 
 __all__ = [
+    "STATS",
+    "Instrumentation",
     "extended_gcd",
     "gcd_vector",
     "integer_solve",

@@ -1,0 +1,57 @@
+"""Lightweight instrumentation shared by the synthesis engine.
+
+A single process-wide :data:`STATS` registry collects named counters
+(candidates examined, point-cache hits, ...) and wall-clock stage timers.
+The registry is deliberately simple — a couple of dicts — so that hot paths
+can record a counter with one dict update and zero allocations; the CLI's
+``--stats`` flag and the benchmarks read it back via :meth:`snapshot` /
+:meth:`report`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Instrumentation:
+    """Named counters plus accumulated per-stage wall times."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time spent inside the ``with`` block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> dict[str, dict]:
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    def report(self) -> str:
+        """Human-readable summary (one line per entry, sorted by name)."""
+        lines = ["instrumentation:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<40} {self.counters[name]}")
+        for name in sorted(self.timers):
+            lines.append(f"  {name:<40} {self.timers[name] * 1000:.1f} ms")
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+
+STATS = Instrumentation()

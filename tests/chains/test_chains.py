@@ -175,3 +175,50 @@ class TestDilworth:
             if all(not lt(a, v) and not lt(v, a) for a in antichain):
                 antichain.append(v)
         assert w >= len(antichain)
+
+
+class _StubOrder:
+    """greedy_chains only consumes sorted_by_availability()."""
+
+    def __init__(self, pairs):
+        self._pairs = sorted(pairs)
+
+    def sorted_by_availability(self):
+        return list(self._pairs)
+
+
+class TestGreedyTieBreaking:
+    def test_equal_availability_forces_new_chain(self):
+        """Ties in availability are incomparable under >_T, so the second
+        element of a tie can never extend the first's chain."""
+        chains = greedy_chains(_StubOrder([(5, 1), (5, 2)]))
+        assert [c.ks for c in chains] == [[1], [2]]
+
+    def test_ties_processed_smaller_k_first(self):
+        # (5,1) opens chain0; (5,2) ties -> chain1; (6,3) and (7,4) extend
+        # chain0 (first chain that admits them, ascending in k).
+        chains = greedy_chains(_StubOrder([(6, 3), (5, 2), (7, 4), (5, 1)]))
+        assert [c.ks for c in chains] == [[1, 3, 4], [2]]
+
+    def test_first_eligible_chain_wins(self):
+        # (6,0) has strictly later availability than both tails but k=0 only
+        # fits chain1 descending?  chain0 is "single" so it accepts any k.
+        chains = greedy_chains(_StubOrder([(5, 1), (5, 2), (6, 0)]))
+        assert [c.ks for c in chains] == [[1, 0], [2]]
+
+    def test_direction_consistency_respected(self):
+        # chain0 becomes ascending [1, 3]; k=2 arrives later with higher
+        # availability but would break monotonicity -> goes to chain1.
+        chains = greedy_chains(_StubOrder([(5, 1), (6, 3), (7, 2)]))
+        assert [c.ks for c in chains] == [[1, 3], [2]]
+
+    def test_paper_dp_tie_structure(self):
+        """DP at (i, j) = (2, 8): avail(k) = max(k - 2, 8 - k) ties at
+        k and 10 - k, giving exactly two chains (the paper's split)."""
+        o = order_at(2, 8)
+        chains = greedy_chains(o)
+        assert len(chains) == 2
+        avail = [[o.availability(k) for k in c.ks] for c in chains]
+        for seq in avail:
+            assert seq == sorted(seq)
+            assert len(set(seq)) == len(seq)  # strictly increasing

@@ -2,6 +2,7 @@
 
 import itertools
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -128,3 +129,56 @@ class TestOperations:
     def test_count_matches_len_points(self):
         p = dp_triangle()
         assert p.count({"n": 6}) == len(list(p.points({"n": 6})))
+
+
+class TestPointsArray:
+    def test_matches_points_order(self):
+        p = dp_triangle()
+        arr = p.points_array({"n": 6})
+        assert arr.dtype == np.int64
+        assert [tuple(row) for row in arr] == list(p.points({"n": 6}))
+
+    def test_cached_and_readonly(self):
+        p = dp_triangle()
+        a = p.points_array({"n": 6})
+        b = p.points_array({"n": 6})
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 99
+
+    def test_cache_shared_across_equal_polyhedra(self):
+        a = dp_triangle().points_array({"n": 5})
+        b = dp_triangle().points_array({"n": 5})
+        assert a is b
+
+    def test_empty_domain_array(self):
+        i = var("i")
+        p = Polyhedron(("i", "j"), [ge(i, 5), le(i, 4), ge(var("j"), 0),
+                                    le(var("j"), 3)])
+        arr = p.points_array()
+        assert arr.shape == (0, 2)
+        assert p.count() == 0
+
+    def test_zero_dimensional_domain(self):
+        p = Polyhedron(())
+        assert list(p.points()) == [()]
+        assert p.points_array().shape == (1, 0)
+        assert p.count() == 1
+
+    def test_unbounded_domain_rejected(self):
+        p = Polyhedron(("i",), [ge(var("i"), 0)])
+        with pytest.raises(ValueError, match="unbounded"):
+            list(p.points())
+        with pytest.raises(ValueError, match="unbounded"):
+            p.points_array()
+
+    def test_unbounded_below_rejected(self):
+        p = Polyhedron(("i",), [le(var("i"), 10)])
+        with pytest.raises(ValueError, match="unbounded"):
+            p.points_array()
+
+    def test_unbound_parameter_still_keyerror(self):
+        p = dp_triangle()
+        with pytest.raises(KeyError):
+            p.points_array()

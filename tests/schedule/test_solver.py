@@ -126,3 +126,77 @@ class TestLowerBounds:
         for node, level in lv.items():
             assert sol.schedule.time(node) >= level + min(
                 sol.schedule.time(p) for p in lv)
+
+
+class TestZeroVectorRejection:
+    """Eq. (2) requires a nonsingular transformation: the all-zero time
+    vector can never be part of one, even when there are no dependences to
+    rule it out."""
+
+    def test_empty_dependence_matrix_excludes_zero(self):
+        deps = DependenceMatrix()
+        vectors = list(valid_coefficient_vectors(deps, 2, 1))
+        assert (0, 0) not in vectors
+        assert len(vectors) == 3 ** 2 - 1
+
+    def test_none_is_treated_as_no_deps(self):
+        vectors = list(valid_coefficient_vectors(None, 2, 1))
+        assert (0, 0) not in vectors
+
+    def test_with_deps_unchanged(self):
+        vectors = list(valid_coefficient_vectors(conv4_deps(), 2, 3))
+        assert (0, 0) not in vectors
+        assert all(any(c != 0 for c in v) for v in vectors)
+
+    def test_schedule_without_deps_is_not_constant(self):
+        dom = Polyhedron.box({"i": (1, 4), "k": (1, 4)})
+        sol = optimal_schedule(DependenceMatrix(), dom, {})
+        assert any(c != 0 for c in sol.schedule.coeffs)
+        # Best a single nonzero unit vector can do on a 4x4 box.
+        assert sol.makespan == 3
+
+
+class TestVectorizedEquivalence:
+    """The vectorised solver must be bit-identical to the original
+    per-candidate loop (kept as ``optimal_schedule_reference``)."""
+
+    CASES = [
+        (conv4_deps, CONV_PARAMS),
+        (conv5_deps, CONV_PARAMS),
+        (conv4_deps, {"n": 6, "s": 3}),
+        (conv5_deps, {"n": 20, "s": 6}),
+    ]
+
+    @pytest.mark.parametrize("make_deps,params", CASES)
+    def test_identical_solutions(self, make_deps, params):
+        from repro.schedule.solver import optimal_schedule_reference
+        fast = optimal_schedule(make_deps(), CONV_DOMAIN, params)
+        slow = optimal_schedule_reference(make_deps(), CONV_DOMAIN, params)
+        assert fast == slow  # full dataclass: schedule, makespan,
+        # optima (order included) and candidates_examined
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(-2, 2), st.integers(-2, 2)).filter(
+            lambda d: d != (0, 0)),
+        min_size=1, max_size=3, unique=True))
+    def test_random_systems_identical(self, vectors):
+        from repro.schedule.solver import optimal_schedule_reference
+        deps = DependenceMatrix.from_dict({"v": vectors})
+        dom = Polyhedron.box({"i": (1, 5), "j": (1, 5)})
+        try:
+            slow = optimal_schedule_reference(deps, dom, {}, bound=2)
+        except NoScheduleExists:
+            with pytest.raises(NoScheduleExists):
+                optimal_schedule(deps, dom, {}, bound=2)
+            return
+        fast = optimal_schedule(deps, dom, {}, bound=2)
+        assert fast == slow
+
+    @pytest.mark.parametrize("make_deps,params", CASES)
+    def test_lp_early_exit_same_optimum(self, make_deps, params):
+        full = optimal_schedule(make_deps(), CONV_DOMAIN, params)
+        pruned = optimal_schedule(make_deps(), CONV_DOMAIN, params,
+                                  use_lp_bound=True)
+        assert pruned.schedule == full.schedule
+        assert pruned.makespan == full.makespan
