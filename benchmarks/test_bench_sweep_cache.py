@@ -1,0 +1,57 @@
+"""Benchmark S — the batch sweep engine and its persistent design cache.
+
+The cache's value proposition is that synthesis is deterministic, so a
+solved design never has to be solved again.  This file pins that down on a
+3x2x2 grid (the acceptance grid's shape at smaller n):
+
+* **cold** — every job reaches the solvers; the sweep completes and the
+  infeasible dp-on-linear jobs are recorded, not raised;
+* **warm** — an immediately repeated sweep is served entirely from the
+  cache, at least 10x faster than the cold run, with an identical result
+  table.
+
+Cross-checking is disabled here so the warm number measures the cache
+alone, not one deliberate re-synthesis.
+"""
+
+import pytest
+
+from repro.core import SweepSpec, run_sweep
+from repro.report import sweep_table
+
+SPEC = SweepSpec(
+    problems=("dp", "conv-backward", "conv-forward"),
+    interconnects=("fig1", "linear"),
+    param_grid=({"n": 6, "s": 3}, {"n": 8, "s": 3}),
+)
+
+
+def _cold(cache_dir):
+    from repro.core import DesignCache
+
+    DesignCache(cache_dir).clear()
+    return run_sweep(SPEC, workers=0, cache_dir=cache_dir,
+                     cross_check=False)
+
+
+def _warm(cache_dir):
+    return run_sweep(SPEC, workers=0, cache_dir=cache_dir,
+                     cross_check=False)
+
+
+class TestSweepCache:
+    def test_cold_sweep(self, benchmark, tmp_path):
+        report = benchmark.pedantic(
+            _cold, args=(tmp_path,), rounds=2, iterations=1)
+        assert report.cache_hits == 0
+        assert len(report.results) == 12      # 3 problems x 2 ics x 2 n
+        assert report.ok_results and report.failures
+
+    def test_warm_sweep_is_10x_faster(self, benchmark, tmp_path):
+        cold = _cold(tmp_path)
+        warm = benchmark.pedantic(
+            _warm, args=(tmp_path,), rounds=5, iterations=1)
+        assert warm.cache_hits == len(warm.results)
+        assert warm.cache_misses == 0
+        assert warm.wall_time < cold.wall_time / 10
+        assert sweep_table(warm.results) == sweep_table(cold.results)

@@ -28,20 +28,27 @@ Quickstart::
 
 from repro import arrays, chains, core, deps, ir, machine, problems, reference
 from repro import report, schedule, space, transform
+from repro import api
 from repro.core import (
     Design,
+    SynthesisError,
+    SynthesisOptions,
     coarse_timing,
     explore_uniform,
     restructure,
+    run_sweep,
     synthesize,
     synthesize_uniform,
     verify_design,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Design",
+    "SynthesisError",
+    "SynthesisOptions",
+    "api",
     "arrays",
     "chains",
     "coarse_timing",
@@ -54,6 +61,7 @@ __all__ = [
     "reference",
     "report",
     "restructure",
+    "run_sweep",
     "schedule",
     "space",
     "synthesize",

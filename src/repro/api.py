@@ -1,0 +1,95 @@
+"""The blessed public surface of the synthesis engine.
+
+Everything a caller — the CLI, a service wrapper, a notebook — needs sits
+behind this one module, so the internal package layout can keep moving
+without breaking users::
+
+    from repro import api
+
+    design = api.synthesize(system, {"n": 8}, api.resolve_interconnect("fig2"))
+    report = api.run_sweep(api.SweepSpec(
+        problems=("dp", "conv-backward"),
+        interconnects=("fig1", "linear"),
+        param_grid=({"n": 8, "s": 4},)))
+
+Surface groups:
+
+* single-shot synthesis — :func:`synthesize`, :func:`explore_uniform`,
+  :func:`explore_interconnects`, :func:`verify_design`,
+  :class:`SynthesisOptions`, :class:`Design`;
+* batch sweeps — :class:`SweepSpec`, :func:`run_sweep`,
+  :class:`SweepReport`, :data:`PROBLEM_BUILDERS`;
+* persistent cache — :class:`DesignCache`, :func:`cache_key`,
+  :func:`system_fingerprint`;
+* errors — :class:`SynthesisError` and its concrete subclasses;
+* naming — :func:`resolve_interconnect`, :data:`STOCK_INTERCONNECTS`.
+"""
+
+from repro.arrays.interconnect import (
+    INTERCONNECT_ALIASES,
+    STOCK_INTERCONNECTS,
+    Interconnect,
+    resolve_interconnect,
+)
+from repro.core.batch import (
+    PROBLEM_BUILDERS,
+    SweepJob,
+    SweepReport,
+    SweepResult,
+    SweepSpec,
+    default_workers,
+    run_sweep,
+)
+from repro.core.cache import (
+    CACHE_ENV_VAR,
+    DesignCache,
+    cache_key,
+    default_cache_dir,
+    system_fingerprint,
+)
+from repro.core.design import Design
+from repro.core.errors import (
+    NoScheduleExists,
+    NoSpaceMapExists,
+    SynthesisError,
+)
+from repro.core.explore import (
+    ExploredDesign,
+    explore_interconnects,
+    explore_uniform,
+    pareto_front,
+)
+from repro.core.nonuniform import synthesize
+from repro.core.options import SynthesisOptions
+from repro.core.verify import VerificationReport, verify_design
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "Design",
+    "DesignCache",
+    "ExploredDesign",
+    "INTERCONNECT_ALIASES",
+    "Interconnect",
+    "NoScheduleExists",
+    "NoSpaceMapExists",
+    "PROBLEM_BUILDERS",
+    "STOCK_INTERCONNECTS",
+    "SweepJob",
+    "SweepReport",
+    "SweepResult",
+    "SweepSpec",
+    "SynthesisError",
+    "SynthesisOptions",
+    "VerificationReport",
+    "cache_key",
+    "default_cache_dir",
+    "default_workers",
+    "explore_interconnects",
+    "explore_uniform",
+    "pareto_front",
+    "resolve_interconnect",
+    "run_sweep",
+    "synthesize",
+    "system_fingerprint",
+    "verify_design",
+]

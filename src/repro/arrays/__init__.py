@@ -6,11 +6,13 @@ from repro.arrays.interconnect import (
     FIG1_UNIDIRECTIONAL,
     FIG2_EXTENDED,
     HEX_6,
+    INTERCONNECT_ALIASES,
     LINEAR_BIDIR,
     LINEAR_UNI,
     MESH_4,
     STOCK_INTERCONNECTS,
     Interconnect,
+    resolve_interconnect,
 )
 from repro.arrays.model import ArrayRegion, VLSIArray
 
@@ -20,6 +22,7 @@ __all__ = [
     "FIG2_EXTENDED",
     "Flow",
     "HEX_6",
+    "INTERCONNECT_ALIASES",
     "Interconnect",
     "LINEAR_BIDIR",
     "LINEAR_UNI",
@@ -28,5 +31,6 @@ __all__ = [
     "VLSIArray",
     "all_flows",
     "classify_pair",
+    "resolve_interconnect",
     "variable_flows",
 ]

@@ -91,3 +91,26 @@ STOCK_INTERCONNECTS: dict[str, Interconnect] = {
     for ic in (LINEAR_UNI, LINEAR_BIDIR, FIG1_UNIDIRECTIONAL,
                FIG2_EXTENDED, MESH_4, HEX_6)
 }
+
+INTERCONNECT_ALIASES: dict[str, str] = {
+    "fig1": "fig1-unidirectional",
+    "fig2": "fig2-extended",
+    "linear": "linear-bidirectional",
+    "linear-uni": "linear-unidirectional",
+    "mesh": "mesh-4",
+    "hex": "hex-6",
+}
+"""Short names accepted wherever an interconnect is named (CLI, sweeps)."""
+
+
+def resolve_interconnect(name_or_ic: "str | Interconnect") -> Interconnect:
+    """An :class:`Interconnect` from a stock name, a short alias, or the
+    object itself.  Raises ``KeyError`` with the known names otherwise."""
+    if isinstance(name_or_ic, Interconnect):
+        return name_or_ic
+    resolved = INTERCONNECT_ALIASES.get(name_or_ic, name_or_ic)
+    if resolved not in STOCK_INTERCONNECTS:
+        raise KeyError(
+            f"unknown interconnect {name_or_ic!r}; choose from "
+            f"{sorted(INTERCONNECT_ALIASES) + sorted(STOCK_INTERCONNECTS)}")
+    return STOCK_INTERCONNECTS[resolved]

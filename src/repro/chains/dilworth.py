@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Sequence
 
-import networkx as nx
+from repro.util.lazyimport import lazy_import
+
+nx = lazy_import("networkx")
 
 
 def minimum_chain_decomposition(elements: Sequence[Hashable],

@@ -1,10 +1,15 @@
 """Command-line interface: synthesize and inspect designs without code.
 
+All synthesis entry points come from :mod:`repro.api`, the blessed public
+surface.
+
 Examples::
 
     python -m repro synthesize --problem dp --interconnect fig2 --n 8
     python -m repro synthesize --problem conv-backward --n 12 --s 4 --verify
     python -m repro explore --recurrence forward --n 12 --s 4
+    python -m repro sweep --problems dp,conv-backward --interconnects \
+fig1,linear --n 6,8 --stats
     python -m repro figures --n 8
     python -m repro cell --n 8 --x 3 --y 2
 """
@@ -12,11 +17,19 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
-from repro.arrays import STOCK_INTERCONNECTS
-from repro.core import explore_uniform, synthesize, verify_design
+from repro.api import (
+    SweepSpec,
+    SynthesisOptions,
+    explore_uniform,
+    resolve_interconnect,
+    run_sweep,
+    synthesize,
+    verify_design,
+)
 from repro.problems import (
     classify_design,
     convolution_backward,
@@ -32,16 +45,10 @@ from repro.report import (
     module_table,
     render_array,
     render_cell_actions,
+    sweep_pareto_table,
+    sweep_table,
 )
 from repro.util.instrument import STATS
-
-INTERCONNECT_ALIASES = {
-    "fig1": "fig1-unidirectional",
-    "fig2": "fig2-extended",
-    "linear": "linear-bidirectional",
-    "mesh": "mesh-4",
-    "hex": "hex-6",
-}
 
 PROBLEMS = {
     "dp": (dp_system, ("n",)),
@@ -52,12 +59,10 @@ PROBLEMS = {
 
 
 def _interconnect(name: str):
-    resolved = INTERCONNECT_ALIASES.get(name, name)
-    if resolved not in STOCK_INTERCONNECTS:
-        raise SystemExit(
-            f"unknown interconnect {name!r}; choose from "
-            f"{sorted(INTERCONNECT_ALIASES) + sorted(STOCK_INTERCONNECTS)}")
-    return STOCK_INTERCONNECTS[resolved]
+    try:
+        return resolve_interconnect(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
 
 
 def _random_inputs(problem: str, params, seed: int = 0):
@@ -81,6 +86,10 @@ def _random_inputs(problem: str, params, seed: int = 0):
     raise SystemExit(f"no random inputs for {problem!r}")
 
 
+def _csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def cmd_synthesize(args) -> int:
     builder, needed = PROBLEMS[args.problem]
     params = {"n": args.n}
@@ -93,8 +102,9 @@ def cmd_synthesize(args) -> int:
     print()
     print(render_array(design))
     if args.verify:
-        report = verify_design(design, _random_inputs(args.problem, params))
-        print(f"\nverification: {report}")
+        report = verify_design(
+            design, _random_inputs(args.problem, params, args.seed))
+        print(f"\nverification: {report}  (seed={args.seed})")
         if report.machine_stats:
             s = report.machine_stats
             print(f"machine: {s.cycles} cycles, {s.cells_used} cells, "
@@ -120,6 +130,50 @@ def cmd_explore(args) -> int:
         f"designs from the {args.recurrence} recurrence ({params})"))
     print(f"\n{len(designs)} designs explored; named: {sorted(named)}")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    problems = _csv(args.problems)
+    for prob in problems:
+        if prob not in PROBLEMS:
+            raise SystemExit(f"unknown problem {prob!r}; choose from "
+                             f"{sorted(PROBLEMS)}")
+    interconnects = tuple(_interconnect(name)
+                          for name in _csv(args.interconnects))
+    try:
+        ns = [int(v) for v in _csv(args.n)]
+        ss = [int(v) for v in _csv(args.s)]
+    except ValueError as exc:
+        raise SystemExit(f"bad --n/--s value: {exc}")
+    if not problems or not interconnects or not ns or not ss:
+        raise SystemExit("sweep needs at least one problem, interconnect "
+                         "and parameter value")
+    grid = tuple({"n": n, "s": s} for n in ns for s in ss)
+    options = SynthesisOptions(time_bound=args.time_bound,
+                               space_bound=args.space_bound)
+    spec = SweepSpec(problems=tuple(problems), interconnects=interconnects,
+                     param_grid=grid, options=options)
+    report = run_sweep(
+        spec,
+        workers=0 if args.serial else args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        cross_check=not args.no_cross_check)
+    print(sweep_table(
+        report.results,
+        f"sweep: {len(problems)} problem(s) x {len(interconnects)} "
+        f"interconnect(s) x {len(grid)} binding(s)"))
+    print()
+    print(sweep_pareto_table(
+        report.pareto(), "Pareto front (completion time vs. cells)"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    if args.stats:
+        print()
+        print(report.summary())
+    return 0 if report.ok_results else 1
 
 
 def cmd_figures(args) -> int:
@@ -159,6 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=4)
     p.add_argument("--verify", action="store_true",
                    help="run the design on the systolic machine")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the random verification inputs")
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("explore", help="enumerate convolution designs",
@@ -170,6 +226,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=4)
     p.add_argument("--time-bound", type=int, default=2)
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "sweep", parents=[common],
+        help="batch-synthesize a (problems x interconnects x params) grid "
+             "in parallel, with a persistent design cache")
+    p.add_argument("--problems", default="dp,conv-backward,conv-forward",
+                   help="comma-separated problem names")
+    p.add_argument("--interconnects", default="fig1,fig2,linear",
+                   help="comma-separated interconnect names/aliases")
+    p.add_argument("--n", default="8", help="comma-separated n values")
+    p.add_argument("--s", default="4", help="comma-separated s values "
+                                            "(problems that use s)")
+    p.add_argument("--time-bound", type=int, default=3)
+    p.add_argument("--space-bound", type=int, default=1)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: cpu_count-1, min 1)")
+    p.add_argument("--serial", action="store_true",
+                   help="run in-process without a worker pool (debugging)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the persistent design cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_DESIGN_CACHE or "
+                        "~/.cache/repro-designs)")
+    p.add_argument("--no-cross-check", action="store_true",
+                   help="skip re-synthesizing one cached entry as a "
+                        "consistency check")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the full sweep report as JSON")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("figures", help="print both DP arrays",
                        parents=[common])

@@ -1,9 +1,24 @@
 """The paper's contribution: the two-step refinement procedure (coarse
 timing + chain-based restructuring) and the multi-module time/space mapping
-pipeline, packaged as designs with verification and exploration."""
+pipeline, packaged as designs with verification, exploration, batch sweeps
+and a persistent design cache."""
 
+from repro.core.batch import (
+    PROBLEM_BUILDERS,
+    SweepJob,
+    SweepReport,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
+from repro.core.cache import DesignCache, cache_key, system_fingerprint
 from repro.core.coarse import CoarseTiming, coarse_timing
 from repro.core.design import Design
+from repro.core.errors import (
+    NoScheduleExists,
+    NoSpaceMapExists,
+    SynthesisError,
+)
 from repro.core.explore import (
     ExploredDesign,
     explore_interconnects,
@@ -12,6 +27,7 @@ from repro.core.explore import (
 )
 from repro.core.globals import link_constraints
 from repro.core.nonuniform import synthesize
+from repro.core.options import SynthesisOptions
 from repro.core.restructure import RestructureError, restructure
 from repro.core.uniform import synthesize_uniform
 from repro.core.verify import VerificationReport, verify_design
@@ -19,16 +35,29 @@ from repro.core.verify import VerificationReport, verify_design
 __all__ = [
     "CoarseTiming",
     "Design",
+    "DesignCache",
     "ExploredDesign",
+    "NoScheduleExists",
+    "NoSpaceMapExists",
+    "PROBLEM_BUILDERS",
     "RestructureError",
+    "SweepJob",
+    "SweepReport",
+    "SweepResult",
+    "SweepSpec",
+    "SynthesisError",
+    "SynthesisOptions",
     "VerificationReport",
+    "cache_key",
     "coarse_timing",
     "explore_interconnects",
     "explore_uniform",
     "link_constraints",
     "pareto_front",
     "restructure",
+    "run_sweep",
     "synthesize",
     "synthesize_uniform",
+    "system_fingerprint",
     "verify_design",
 ]

@@ -1,0 +1,418 @@
+"""Parallel batch-synthesis sweeps over (problem × interconnect × params).
+
+The paper's Section I payoff — "automatically generating a number of viable
+algorithms ... enables the selection of an optimal algorithm among a wider
+set of candidates" — needs synthesis to run as a *service*, not a function
+call: fan a grid of jobs out over worker processes, survive individual
+infeasibilities, persist every solved design, and answer the selection
+question with a Pareto front over (completion time, cell count).
+
+Shape of a sweep::
+
+    spec = SweepSpec(problems=("dp", "conv-backward"),
+                     interconnects=("fig1", "linear"),
+                     param_grid=({"n": 6, "s": 3}, {"n": 8, "s": 3}))
+    report = run_sweep(spec, workers=2)
+    best = report.pareto()
+
+Execution model:
+
+* the parent probes the :class:`~repro.core.cache.DesignCache` for every
+  job first — hits (including cached *failures*) never reach a worker;
+* misses go to a ``ProcessPoolExecutor`` (``workers`` processes, default
+  ``os.cpu_count() - 1``, min 1) or run serially with ``workers=0`` — the
+  debug path with no pickling or process boundaries;
+* a failed job records its :class:`~repro.util.errors.SynthesisError`
+  in its :class:`SweepResult` instead of killing the sweep;
+* per-job wall time and the solver's :mod:`repro.util.instrument` counters
+  travel back with each result and are merged into the parent's ``STATS``;
+* with ``cross_check=True`` one cached entry per sweep (the cheapest, to
+  keep warm runs fast) is re-synthesized from scratch and compared against
+  the stored payload — a standing guard against stale or corrupted caches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.arrays.interconnect import Interconnect, resolve_interconnect
+from repro.core.cache import DesignCache, cache_key
+from repro.core.design import Design
+from repro.core.globals import link_constraints
+from repro.core.nonuniform import synthesize
+from repro.core.options import SynthesisOptions
+from repro.ir.program import RecurrenceSystem
+from repro.problems import (
+    convolution_backward,
+    convolution_forward,
+    dp_system,
+    matmul_system,
+)
+from repro.util.errors import SynthesisError
+from repro.util.instrument import STATS
+
+#: name -> (system builder, parameter names the problem needs).  Builders
+#: are module-level callables so jobs pickle across process boundaries.
+PROBLEM_BUILDERS: dict[str, tuple[Callable[[], RecurrenceSystem],
+                                  tuple[str, ...]]] = {
+    "dp": (dp_system, ("n",)),
+    "conv-backward": (convolution_backward, ("n", "s")),
+    "conv-forward": (convolution_forward, ("n", "s")),
+    "matmul": (matmul_system, ("n",)),
+}
+
+
+def resolve_problem(name: str) -> tuple[Callable[[], RecurrenceSystem],
+                                        tuple[str, ...]]:
+    try:
+        return PROBLEM_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown problem {name!r}; choose from "
+                       f"{sorted(PROBLEM_BUILDERS)}") from None
+
+
+def default_workers() -> int:
+    """The issue-spec default: one process per core minus one, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One synthesis task: a problem instance on one interconnect."""
+
+    problem: str
+    builder: Callable[[], RecurrenceSystem]
+    params: tuple[tuple[str, int], ...]          # sorted, hashable
+    interconnect: Interconnect
+    options: SynthesisOptions = SynthesisOptions()
+
+    @property
+    def params_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        p = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.problem}({p}) on {self.interconnect.name}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The sweep space: problems × interconnects × parameter bindings.
+
+    ``param_grid`` entries may carry parameters a problem does not use
+    (e.g. ``s`` for ``dp``); each job keeps only the parameters its problem
+    needs, and jobs that collapse to the same binding are deduplicated.
+    """
+
+    problems: tuple[str, ...]
+    interconnects: tuple["str | Interconnect", ...]
+    param_grid: tuple[Mapping[str, int], ...]
+    options: SynthesisOptions = SynthesisOptions()
+
+    def jobs(self) -> list[SweepJob]:
+        out: list[SweepJob] = []
+        seen: set[tuple] = set()
+        for prob in self.problems:
+            builder, needed = resolve_problem(prob)
+            for ic in self.interconnects:
+                icobj = resolve_interconnect(ic)
+                for binding in self.param_grid:
+                    missing = [k for k in needed if k not in binding]
+                    if missing:
+                        raise KeyError(
+                            f"problem {prob!r} needs parameters {missing} "
+                            f"absent from grid entry {dict(binding)}")
+                    params = tuple(sorted(
+                        (k, int(binding[k])) for k in needed))
+                    sig = (prob, icobj.name, params)
+                    if sig in seen:
+                        continue
+                    seen.add(sig)
+                    out.append(SweepJob(prob, builder, params, icobj,
+                                        self.options))
+        return out
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one job — success or recorded failure, fresh or cached."""
+
+    problem: str
+    params: dict[str, int]
+    interconnect: str
+    key: str
+    ok: bool
+    cache_hit: bool = False
+    cells: int | None = None
+    completion_time: int | None = None
+    wall_time: float = 0.0              # this run's cost (probe or solve)
+    solve_time: float = 0.0             # the original synthesis cost
+    error_type: str | None = None
+    error: str | None = None
+    error_module: str | None = None
+    stats: dict = field(default_factory=dict)
+    design_payload: dict | None = None
+
+    def label(self) -> str:
+        p = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.problem}({p}) on {self.interconnect}"
+
+    def design(self, system: RecurrenceSystem) -> Design:
+        """Rebuild the full design (successful results only)."""
+        if not self.ok or self.design_payload is None:
+            raise ValueError(f"{self.label()}: no design (job failed)")
+        design = Design.from_dict(self.design_payload, system)
+        design.constraints = link_constraints(system, design.params)
+        return design
+
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "params": dict(self.params),
+            "interconnect": self.interconnect,
+            "key": self.key,
+            "ok": self.ok,
+            "cache_hit": self.cache_hit,
+            "cells": self.cells,
+            "completion_time": self.completion_time,
+            "wall_time": self.wall_time,
+            "solve_time": self.solve_time,
+            "error_type": self.error_type,
+            "error": self.error,
+            "error_module": self.error_module,
+            "design": self.design_payload,
+        }
+
+    def _sort_key(self) -> tuple:
+        return (self.problem, self.interconnect,
+                tuple(sorted(self.params.items())))
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, plus the bookkeeping around it."""
+
+    results: list[SweepResult]
+    wall_time: float
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cross_check: str | None = None
+
+    @property
+    def ok_results(self) -> list[SweepResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> list[SweepResult]:
+        return [r for r in self.results if not r.ok]
+
+    def pareto(self) -> list[SweepResult]:
+        """Successful results not dominated in (completion time, cells),
+        one representative per distinct point, sorted by completion time."""
+        ok = self.ok_results
+        front: list[SweepResult] = []
+        seen: set[tuple[int, int]] = set()
+        for r in sorted(ok, key=lambda r: (r.completion_time, r.cells,
+                                           r._sort_key())):
+            tag = (r.completion_time, r.cells)
+            if tag in seen:
+                continue
+            if any(o.completion_time <= r.completion_time
+                   and o.cells <= r.cells
+                   and (o.completion_time, o.cells) != tag for o in ok):
+                continue
+            seen.add(tag)
+            front.append(r)
+        return front
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep: {len(self.results)} jobs "
+            f"({len(self.ok_results)} ok, {len(self.failures)} infeasible) "
+            f"in {self.wall_time:.2f}s with {self.workers} worker(s)",
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses",
+        ]
+        if self.cross_check is not None:
+            lines.append(f"cross-check: {self.cross_check}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_time": self.wall_time,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cross_check": self.cross_check,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def _execute_job(job: SweepJob, cache_root: "str | None",
+                 use_cache: bool) -> SweepResult:
+    """Synthesize one job (worker side or serial path) and cache the
+    outcome — the solved design, or the failure as a negative entry."""
+    t0 = time.perf_counter()
+    before = STATS.snapshot()
+    system = job.builder()
+    key = cache_key(system, job.params_dict, job.interconnect, job.options)
+    try:
+        design = synthesize(system, job.params_dict, job.interconnect,
+                            job.options)
+        error = None
+    except SynthesisError as exc:
+        design = None
+        error = exc
+    wall = time.perf_counter() - t0
+    after = STATS.snapshot()
+    delta = {
+        "counters": {k: v - before["counters"].get(k, 0)
+                     for k, v in after["counters"].items()
+                     if v != before["counters"].get(k, 0)},
+        "timers": {k: v - before["timers"].get(k, 0.0)
+                   for k, v in after["timers"].items()
+                   if v != before["timers"].get(k, 0.0)},
+    }
+    if design is not None:
+        result = SweepResult(
+            problem=job.problem, params=job.params_dict,
+            interconnect=job.interconnect.name, key=key, ok=True,
+            cells=design.cell_count,
+            completion_time=design.completion_time,
+            wall_time=wall, solve_time=wall, stats=delta,
+            design_payload=design.to_dict())
+        if use_cache:
+            DesignCache(cache_root).put(key, design, solve_time=wall)
+    else:
+        result = SweepResult(
+            problem=job.problem, params=job.params_dict,
+            interconnect=job.interconnect.name, key=key, ok=False,
+            wall_time=wall, solve_time=wall, stats=delta,
+            error_type=type(error).__name__, error=str(error),
+            error_module=error.module)
+        if use_cache:
+            DesignCache(cache_root).store(key, {
+                "status": "error",
+                "error_type": type(error).__name__,
+                "error": str(error),
+                "error_module": error.module,
+                "solve_time": wall,
+            })
+    return result
+
+
+def _result_from_payload(job: SweepJob, key: str,
+                         payload: dict, wall: float) -> SweepResult:
+    if payload.get("status") == "ok":
+        return SweepResult(
+            problem=job.problem, params=job.params_dict,
+            interconnect=job.interconnect.name, key=key, ok=True,
+            cache_hit=True, cells=payload["cells"],
+            completion_time=payload["completion_time"], wall_time=wall,
+            solve_time=payload.get("solve_time", 0.0),
+            design_payload=payload["design"])
+    return SweepResult(
+        problem=job.problem, params=job.params_dict,
+        interconnect=job.interconnect.name, key=key, ok=False,
+        cache_hit=True, wall_time=wall,
+        solve_time=payload.get("solve_time", 0.0),
+        error_type=payload.get("error_type"), error=payload.get("error"),
+        error_module=payload.get("error_module"))
+
+
+def _merge_stats(delta: dict) -> None:
+    for name, value in delta.get("counters", {}).items():
+        STATS.count(name, value)
+    for name, value in delta.get("timers", {}).items():
+        STATS.timers[name] = STATS.timers.get(name, 0.0) + value
+
+
+def _cross_check(results: Sequence[SweepResult],
+                 jobs_by_key: Mapping[str, SweepJob]) -> str | None:
+    """Re-synthesize the cheapest cached success and compare payloads."""
+    hits = [r for r in results if r.cache_hit and r.ok
+            and r.key in jobs_by_key]
+    if not hits:
+        return None
+    probe = min(hits, key=lambda r: (r.solve_time, r._sort_key()))
+    job = jobs_by_key[probe.key]
+    fresh = synthesize(job.builder(), job.params_dict, job.interconnect,
+                       job.options)
+    STATS.count("sweep.cross_checks")
+    if fresh.to_dict() == probe.design_payload:
+        return f"ok ({probe.label()})"
+    STATS.count("sweep.cross_check_mismatches")
+    return (f"MISMATCH at {probe.label()}: cached payload differs from "
+            "fresh synthesis — clear the cache directory")
+
+
+def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
+              workers: int | None = None,
+              use_cache: bool = True,
+              cache_dir: "str | os.PathLike | None" = None,
+              cross_check: bool = True) -> SweepReport:
+    """Run every job of ``spec``; never raises on per-job infeasibility.
+
+    ``workers=None`` uses :func:`default_workers`; ``workers=0`` forces the
+    serial in-process path (useful under a debugger).  Results come back
+    sorted by (problem, interconnect, params) so downstream tables are
+    byte-stable regardless of completion order.
+    """
+    jobs = spec.jobs() if isinstance(spec, SweepSpec) else list(spec)
+    nworkers = default_workers() if workers is None else max(0, int(workers))
+    t0 = time.perf_counter()
+    cache = DesignCache(cache_dir) if use_cache else None
+    cache_root = str(cache.root) if cache is not None else None
+
+    results: list[SweepResult] = []
+    pending: list[SweepJob] = []
+    jobs_by_key: dict[str, SweepJob] = {}
+    hits = 0
+    with STATS.stage("sweep.probe"):
+        for job in jobs:
+            if cache is None:
+                pending.append(job)
+                continue
+            p0 = time.perf_counter()
+            key = cache_key(job.builder(), job.params_dict,
+                            job.interconnect, job.options)
+            jobs_by_key[key] = job
+            payload = cache.load(key)
+            if payload is None:
+                pending.append(job)
+            else:
+                hits += 1
+                results.append(_result_from_payload(
+                    job, key, payload, time.perf_counter() - p0))
+
+    with STATS.stage("sweep.solve"):
+        if not pending:
+            pass
+        elif nworkers == 0 or len(pending) == 1:
+            for job in pending:
+                results.append(_execute_job(job, cache_root, use_cache))
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(nworkers, len(pending))) as pool:
+                for result in pool.map(_execute_job, pending,
+                                       [cache_root] * len(pending),
+                                       [use_cache] * len(pending)):
+                    _merge_stats(result.stats)
+                    results.append(result)
+
+    check = None
+    if cross_check:
+        with STATS.stage("sweep.cross_check"):
+            check = _cross_check(results, jobs_by_key)
+
+    results.sort(key=SweepResult._sort_key)
+    return SweepReport(results=results,
+                       wall_time=time.perf_counter() - t0,
+                       workers=nworkers,
+                       cache_hits=hits,
+                       cache_misses=len(pending),
+                       cross_check=check)

@@ -1,0 +1,236 @@
+"""Persistent on-disk design cache.
+
+Synthesis is deterministic: the same (system, parameters, interconnect,
+bounds) always yields the same design.  That makes every solved design
+cacheable forever — a warm sweep skips the schedule and space solvers
+entirely and reduces to JSON loads.
+
+**Key scheme.**  Entries are keyed by a SHA-256 over a canonical JSON
+payload of four components:
+
+1. ``system`` — a *structural fingerprint* of the recurrence system
+   (:func:`system_fingerprint`): module names, dims, domain constraints,
+   every equation's rules and guards, link statements, outputs and input
+   names, all rendered through their deterministic ``repr``s.  Two systems
+   built by different code paths but describing the same recurrences hash
+   equal; any structural edit (a new dependence, a changed guard) changes
+   the key.
+2. ``params`` — the concrete parameter binding, sorted by name.
+3. ``interconnect`` — name plus the Δ columns (the name alone is not
+   trusted: a redefined pattern must miss).
+4. ``bounds`` — the :class:`~repro.core.options.SynthesisOptions` values.
+
+Keys are therefore stable across processes and machines — nothing
+position- or id-dependent enters the hash — which the test suite checks by
+recomputing a key in a subprocess.
+
+Entries live under ``~/.cache/repro-designs/`` (override with the
+``REPRO_DESIGN_CACHE`` environment variable or the ``root`` argument), one
+``<key>.json`` per design, written atomically so concurrent sweep workers
+can share a cache directory.  Failed syntheses are cached too (negative
+entries): re-running a sweep does not re-discover infeasibility the hard
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.arrays.interconnect import Interconnect
+from repro.core.design import Design
+from repro.core.globals import link_constraints
+from repro.core.options import SynthesisOptions
+from repro.ir.program import RecurrenceSystem
+from repro.util.instrument import STATS
+
+#: Environment variable overriding the cache directory.
+CACHE_ENV_VAR = "REPRO_DESIGN_CACHE"
+
+#: Bump when the payload or key layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_DESIGN_CACHE`` if set, else ``~/.cache/repro-designs``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-designs"
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def system_fingerprint(system: RecurrenceSystem) -> str:
+    """SHA-256 of the system's structure (not its Python object identity).
+
+    Every piece that influences synthesis enters: dims, domain constraints,
+    rules with guards, outputs, declared inputs.  ``repr``s throughout the
+    IR are value-based (sorted coefficient maps, named ops), so the digest
+    is reproducible across processes.
+    """
+    modules = []
+    for name in sorted(system.modules):
+        module = system.modules[name]
+        equations = []
+        for var in sorted(module.equations):
+            eqn = module.equations[var]
+            equations.append({
+                "var": var,
+                "where": repr(eqn.where),
+                "rules": [repr(rule) for rule in eqn.rules],
+            })
+        modules.append({
+            "name": module.name,
+            "dims": list(module.dims),
+            "domain": sorted(repr(c) for c in module.domain.constraints),
+            "equations": equations,
+        })
+    outputs = [{
+        "module": out.module,
+        "var": out.var,
+        "domain": sorted(repr(c) for c in out.domain.constraints),
+        "key": [repr(k) for k in out.key],
+    } for out in system.outputs]
+    desc = {
+        "format": CACHE_FORMAT_VERSION,
+        "name": system.name,
+        "params": sorted(system.params),
+        "input_names": sorted(system.input_names),
+        "modules": modules,
+        "outputs": outputs,
+    }
+    return _sha256(_canonical_json(desc))
+
+
+def cache_key(system: RecurrenceSystem, params: Mapping[str, int],
+              interconnect: Interconnect,
+              options: SynthesisOptions | None = None) -> str:
+    """Canonical SHA-256 key of one synthesis job."""
+    options = options or SynthesisOptions()
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "system": system_fingerprint(system),
+        "params": {k: int(v) for k, v in sorted(params.items())},
+        "interconnect": {
+            "name": interconnect.name,
+            "columns": [list(c) for c in interconnect.columns],
+        },
+        "bounds": options.to_dict(),
+    }
+    return _sha256(_canonical_json(payload))
+
+
+class DesignCache:
+    """A directory of ``<key>.json`` design payloads.
+
+    The low-level surface (:meth:`load`, :meth:`store`) moves raw payload
+    dicts; the high-level surface (:meth:`get`, :meth:`put`) moves
+    :class:`Design` objects, re-deriving the global constraints on load so
+    a cached design verifies exactly like a fresh one.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- raw payloads --------------------------------------------------------
+
+    def load(self, key: str) -> dict | None:
+        """The stored payload, or ``None`` on a miss (counted in STATS).
+
+        A corrupt entry (interrupted writer from a pre-atomic-write era,
+        disk mishap) is treated as a miss, not an error.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            STATS.count("cache.misses")
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            STATS.count("cache.misses")
+            return None
+        STATS.count("cache.hits")
+        return payload
+
+    def store(self, key: str, payload: dict) -> Path:
+        """Atomically write ``payload`` under ``key`` (last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        body = json.dumps({"format": CACHE_FORMAT_VERSION, "key": key,
+                           **payload}, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        STATS.count("cache.stores")
+        return path
+
+    # -- designs -------------------------------------------------------------
+
+    def get(self, key: str, system: RecurrenceSystem) -> Design | None:
+        """The cached design for ``key``, rebuilt against ``system``, or
+        ``None`` on a miss or a negative (failure) entry."""
+        payload = self.load(key)
+        if payload is None or payload.get("status") != "ok":
+            return None
+        design = Design.from_dict(payload["design"], system)
+        design.constraints = link_constraints(system, design.params)
+        return design
+
+    def put(self, key: str, design: Design, *,
+            solve_time: float = 0.0) -> Path:
+        """Store a solved design with its derived metrics."""
+        return self.store(key, {
+            "status": "ok",
+            "design": design.to_dict(),
+            "cells": design.cell_count,
+            "completion_time": design.completion_time,
+            "solve_time": solve_time,
+        })
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"DesignCache({str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,32 @@
+"""The unified synthesis error surface.
+
+All "no design exists" failures share the :class:`SynthesisError` base, so
+batch jobs and API callers catch a single type::
+
+    from repro.core.errors import SynthesisError
+    try:
+        design = synthesize(system, params, interconnect)
+    except SynthesisError as exc:
+        print(exc.module, exc.bounds)   # which sub-problem, which bounds
+
+The concrete subclasses are raised by the solvers that own them:
+
+* :class:`NoScheduleExists` — system (1) has no linear time function within
+  the search bound (:mod:`repro.schedule.solver` / ``multimodule``);
+* :class:`NoSpaceMapExists` — no joint allocation satisfies the local and
+  global constraints (:mod:`repro.space.multimodule`).
+
+(The base class physically lives in :mod:`repro.util.errors` so the solver
+leaves can import it without a cycle; this module is the blessed import
+point.)
+"""
+
+from repro.schedule.solver import NoScheduleExists
+from repro.space.multimodule import NoSpaceMapExists
+from repro.util.errors import SynthesisError
+
+__all__ = [
+    "NoScheduleExists",
+    "NoSpaceMapExists",
+    "SynthesisError",
+]

@@ -23,7 +23,8 @@ from repro.core.design import Design
 from repro.deps.extract import module_dependence_matrix
 from repro.ir.program import RecurrenceSystem
 from repro.schedule.linear import LinearSchedule
-from repro.schedule.solver import _valid_candidates
+from repro.core.options import SynthesisOptions
+from repro.schedule.solver import valid_candidates
 from repro.space.allocation import cells_used, enumerate_space_maps
 
 
@@ -44,10 +45,17 @@ class ExploredDesign:
 
 def explore_uniform(system: RecurrenceSystem, params: Mapping[str, int],
                     interconnect: Interconnect,
-                    time_bound: int = 2, space_bound: int = 1
+                    time_bound: int = 2, space_bound: int = 1,
+                    options: SynthesisOptions | None = None
                     ) -> list[ExploredDesign]:
     """Enumerate all designs of a single-module system, sorted by
-    (completion time, #cells, movement signature)."""
+    (completion time, #cells, movement signature).
+
+    An ``options`` object overrides the individual bound arguments.
+    """
+    if options is not None:
+        time_bound = options.time_bound
+        space_bound = options.space_bound
     if len(system.modules) != 1:
         raise ValueError("explore_uniform handles single-module systems")
     (name, module), = system.modules.items()
@@ -56,7 +64,7 @@ def explore_uniform(system: RecurrenceSystem, params: Mapping[str, int],
     decomposer = interconnect.decomposer()
 
     # All candidate schedules and their makespans in two matrix ops.
-    candidates = _valid_candidates(deps, len(module.dims), time_bound)
+    candidates = valid_candidates(deps, len(module.dims), time_bound)
     if pts.shape[0] and candidates.shape[0]:
         all_times = candidates @ pts.T
         spans = all_times.max(axis=1) - all_times.min(axis=1)
@@ -91,6 +99,7 @@ def explore_uniform(system: RecurrenceSystem, params: Mapping[str, int],
 def explore_interconnects(system: RecurrenceSystem,
                           params: Mapping[str, int],
                           interconnects: Sequence[Interconnect],
+                          options: SynthesisOptions | None = None,
                           **synthesize_kwargs
                           ) -> list[tuple[Interconnect, "Design | None"]]:
     """Synthesize one design per interconnection pattern (Section V:
@@ -107,7 +116,8 @@ def explore_interconnects(system: RecurrenceSystem,
     results: list[tuple[Interconnect, Design | None]] = []
     for ic in interconnects:
         try:
-            design = synthesize(system, params, ic, **synthesize_kwargs)
+            design = synthesize(system, params, ic, options,
+                                **synthesize_kwargs)
         except (NoScheduleExists, NoSpaceMapExists):
             design = None
         results.append((ic, design))

@@ -23,6 +23,7 @@ from typing import Mapping, Sequence
 from repro.arrays.interconnect import Interconnect
 from repro.core.design import Design
 from repro.core.globals import link_constraints
+from repro.core.options import _UNSET, SynthesisOptions, resolve_options
 from repro.deps.extract import system_dependence_matrices
 from repro.ir.program import RecurrenceSystem
 from repro.schedule.multimodule import (
@@ -41,15 +42,25 @@ from repro.util.instrument import STATS
 
 def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
                interconnect: Interconnect,
-               time_bound: int = 3,
-               space_bound: int = 1,
-               schedule_offsets: Sequence[int] = (0,),
-               space_offsets: Sequence[int] | None = None) -> Design:
+               options: SynthesisOptions | None = None, *,
+               time_bound=_UNSET,
+               space_bound=_UNSET,
+               schedule_offsets=_UNSET,
+               space_offsets=_UNSET) -> Design:
     """Synthesize a design for ``system`` on ``interconnect``.
 
+    Search bounds come from ``options`` (a :class:`SynthesisOptions`); the
+    individual ``time_bound``/``space_bound``/``schedule_offsets``/
+    ``space_offsets`` kwargs are a deprecated shim kept for older callers.
     ``space_offsets=None`` tries translation-free space maps first and
     escalates to offsets in ``[-1, 1]`` only if needed.
     """
+    opts = resolve_options(options, time_bound, space_bound,
+                           schedule_offsets, space_offsets)
+    time_bound = opts.time_bound
+    space_bound = opts.space_bound
+    schedule_offsets = opts.schedule_offsets
+    space_offsets = opts.space_offsets
     params = dict(params)
     deps = system_dependence_matrices(system)
     constraints = link_constraints(system, params)

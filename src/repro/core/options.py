@@ -1,0 +1,96 @@
+"""Synthesis options: one frozen value object instead of loose kwargs.
+
+:func:`repro.core.nonuniform.synthesize` historically took four keyword
+arguments (``time_bound``, ``space_bound``, ``schedule_offsets``,
+``space_offsets``).  The batch engine needs the same knobs as a hashable,
+serialisable value — they are part of the design-cache key — so they are
+consolidated here.  The old kwargs still work through a deprecation shim
+(see :func:`resolve_options`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+
+#: Sentinel distinguishing "not passed" from a meaningful ``None``
+#: (``space_offsets=None`` means "escalate only if needed").
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Bounds and offset ranges of the synthesis search.
+
+    ``time_bound`` / ``space_bound`` bound the schedule and allocation
+    coefficient magnitudes; ``schedule_offsets`` is the range of per-module
+    schedule constants tried before escalation; ``space_offsets=None`` tries
+    translation-free space maps first and escalates to offsets in ``[-1, 1]``
+    only if needed.
+    """
+
+    time_bound: int = 3
+    space_bound: int = 1
+    schedule_offsets: tuple[int, ...] = (0,)
+    space_offsets: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedule_offsets",
+                           tuple(int(o) for o in self.schedule_offsets))
+        if self.space_offsets is not None:
+            object.__setattr__(self, "space_offsets",
+                               tuple(int(o) for o in self.space_offsets))
+        if self.time_bound < 1 or self.space_bound < 0:
+            raise ValueError(
+                f"bounds out of range: time_bound={self.time_bound}, "
+                f"space_bound={self.space_bound}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe canonical form (part of the design-cache key)."""
+        return {
+            "time_bound": self.time_bound,
+            "space_bound": self.space_bound,
+            "schedule_offsets": list(self.schedule_offsets),
+            "space_offsets": (None if self.space_offsets is None
+                              else list(self.space_offsets)),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SynthesisOptions":
+        return SynthesisOptions(
+            time_bound=data["time_bound"],
+            space_bound=data["space_bound"],
+            schedule_offsets=tuple(data["schedule_offsets"]),
+            space_offsets=(None if data["space_offsets"] is None
+                           else tuple(data["space_offsets"])))
+
+
+def resolve_options(options: SynthesisOptions | None,
+                    time_bound: object = _UNSET,
+                    space_bound: object = _UNSET,
+                    schedule_offsets: object = _UNSET,
+                    space_offsets: object = _UNSET) -> SynthesisOptions:
+    """Merge an explicit options object with legacy kwargs.
+
+    Passing any legacy kwarg emits a :class:`DeprecationWarning`; passing
+    both an options object and a legacy kwarg is an error (the caller's
+    intent is ambiguous).
+    """
+    legacy = {name: value for name, value in [
+        ("time_bound", time_bound),
+        ("space_bound", space_bound),
+        ("schedule_offsets", schedule_offsets),
+        ("space_offsets", space_offsets),
+    ] if value is not _UNSET}
+    if not legacy:
+        return options if options is not None else SynthesisOptions()
+    if options is not None:
+        raise TypeError(
+            "pass either a SynthesisOptions object or the legacy kwargs "
+            f"{sorted(legacy)}, not both")
+    warnings.warn(
+        f"synthesize(..., {', '.join(sorted(legacy))}=...) is deprecated; "
+        "pass options=SynthesisOptions(...) instead",
+        DeprecationWarning, stacklevel=3)
+    return SynthesisOptions(**legacy)

@@ -13,6 +13,7 @@ from typing import Mapping
 from repro.arrays.interconnect import Interconnect
 from repro.core.design import Design
 from repro.core.nonuniform import synthesize
+from repro.core.options import SynthesisOptions
 from repro.ir.program import RecurrenceSystem
 
 
@@ -30,4 +31,5 @@ def synthesize_uniform(system: RecurrenceSystem, params: Mapping[str, int],
             f"system {system.name} has {len(system.modules)} modules; "
             f"synthesize_uniform handles exactly one")
     return synthesize(system, params, interconnect,
-                      time_bound=time_bound, space_bound=space_bound)
+                      SynthesisOptions(time_bound=time_bound,
+                                       space_bound=space_bound))

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from typing import Mapping
 
-import networkx as nx
+from repro.util.lazyimport import lazy_import
+
+nx = lazy_import("networkx")
 
 from repro.deps.vectors import DependenceMatrix
 from repro.ir.evaluate import SystemTrace, ValueKey

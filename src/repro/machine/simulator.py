@@ -24,7 +24,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-import networkx as nx
+from repro.util.lazyimport import lazy_import
+
+nx = lazy_import("networkx")
 
 from repro.ir.evaluate import SystemTrace, ValueKey
 from repro.machine.errors import CapacityError, MissingOperandError

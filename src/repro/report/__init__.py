@@ -3,7 +3,13 @@
 
 from repro.report.actions import action_profile, cell_actions, render_cell_actions
 from repro.report.figures import render_array, render_gantt
-from repro.report.tables import design_table, flow_table, module_table
+from repro.report.tables import (
+    design_table,
+    flow_table,
+    module_table,
+    sweep_pareto_table,
+    sweep_table,
+)
 
 __all__ = [
     "action_profile",
@@ -14,4 +20,6 @@ __all__ = [
     "render_array",
     "render_cell_actions",
     "render_gantt",
+    "sweep_pareto_table",
+    "sweep_table",
 ]

@@ -53,6 +53,46 @@ def design_table(entries: Sequence[tuple[str, ExploredDesign]],
     return f"{title}\n{table}" if title else table
 
 
+def _params_cell(params: Mapping[str, int]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def sweep_table(results: Sequence, title: str = "") -> str:
+    """One row per sweep job (duck-typed over
+    :class:`repro.core.batch.SweepResult`), infeasible jobs included.
+
+    Deliberately excludes wall times and cache provenance so a warm re-run
+    renders byte-identically to the cold run that populated the cache.
+    """
+    if not results:
+        return f"{title}\n(no jobs)" if title else "(no jobs)"
+    rows = []
+    for r in results:
+        rows.append([
+            r.problem, _params_cell(r.params), r.interconnect,
+            str(r.completion_time) if r.ok else "-",
+            str(r.cells) if r.ok else "-",
+            "ok" if r.ok else (r.error_type or "failed"),
+        ])
+    table = _format_grid(
+        ["problem", "params", "interconnect", "completion", "cells",
+         "status"], rows)
+    return f"{title}\n{table}" if title else table
+
+
+def sweep_pareto_table(front: Sequence, title: str = "") -> str:
+    """The Pareto front of a sweep — completion time vs. cell count, with
+    the job that achieved each non-dominated point."""
+    if not front:
+        return f"{title}\n(no feasible designs)" if title \
+            else "(no feasible designs)"
+    rows = [[str(r.completion_time), str(r.cells), r.problem,
+             _params_cell(r.params), r.interconnect] for r in front]
+    table = _format_grid(
+        ["completion", "cells", "problem", "params", "interconnect"], rows)
+    return f"{title}\n{table}" if title else table
+
+
 def module_table(design: Design, title: str = "") -> str:
     """Per-module schedule/space summary of a multi-module design."""
     rows = []

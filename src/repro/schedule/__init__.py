@@ -15,6 +15,7 @@ from repro.schedule.solver import (
     fastest_free_schedule,
     lp_lower_bound,
     optimal_schedule,
+    valid_candidates,
     valid_coefficient_vectors,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "normalise_start",
     "optimal_schedule",
     "solve_multimodule",
+    "valid_candidates",
     "valid_coefficient_vectors",
 ]

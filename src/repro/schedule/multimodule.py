@@ -108,7 +108,8 @@ def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
     for p in order:
         if not candidate_lists[p.name]:
             raise NoScheduleExists(
-                f"module {p.name}: no locally valid schedule within bound {bound}")
+                f"module {p.name}: no locally valid schedule within bound "
+                f"{bound}", module=p.name, bounds=bound)
 
     # Group constraints by the *latest* (in search order) module they touch,
     # so each is checked as soon as it becomes decidable.
@@ -200,7 +201,7 @@ def solve_multimodule(problems: Sequence[ModuleSchedulingProblem],
     if best_assignment is None:
         raise NoScheduleExists(
             "no joint schedule satisfies the global constraints "
-            f"within bound {bound}")
+            f"within bound {bound}", bounds=bound)
     schedules = {}
     for name, ci in best_assignment.items():
         coeffs, offset = candidate_lists[name][ci]

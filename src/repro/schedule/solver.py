@@ -28,15 +28,15 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.deps.vectors import DependenceMatrix
 from repro.ir.indexset import Polyhedron
 from repro.schedule.linear import LinearSchedule
+from repro.util.errors import SynthesisError
 from repro.util.instrument import STATS
 
 
-class NoScheduleExists(Exception):
+class NoScheduleExists(SynthesisError):
     """System (1) has no solution within the search bound (or at all)."""
 
 
@@ -72,16 +72,24 @@ def coefficient_grid(dim: int, bound: int) -> np.ndarray:
     return grid
 
 
-def _valid_candidates(deps: DependenceMatrix, dim: int,
-                      bound: int) -> np.ndarray:
+def valid_candidates(deps: DependenceMatrix, dim: int,
+                     bound: int) -> np.ndarray:
     """Rows of the candidate grid satisfying ``t . d >= 1`` for every
-    dependence, zero vector excluded, order preserved."""
+    dependence, zero vector excluded, order preserved.
+
+    This is the raw ``(k, dim)`` integer array the vectorised solver scans;
+    :func:`valid_coefficient_vectors` yields the same rows as tuples.
+    """
     grid = coefficient_grid(dim, bound)
     mask = np.any(grid != 0, axis=1)
     D = deps.matrix() if deps is not None and len(deps) > 0 else None
     if D is not None and D.size > 0:
         mask &= np.all(grid @ D >= 1, axis=1)
     return grid[mask]
+
+
+#: Backwards-compatible private alias (pre-1.1 name).
+_valid_candidates = valid_candidates
 
 
 def valid_coefficient_vectors(deps: DependenceMatrix, dim: int,
@@ -94,7 +102,7 @@ def valid_coefficient_vectors(deps: DependenceMatrix, dim: int,
     would otherwise slip through and produce a singular transformation,
     violating the nonsingularity requirement of eq. (2).
     """
-    for row in _valid_candidates(deps, dim, bound):
+    for row in valid_candidates(deps, dim, bound):
         yield tuple(int(c) for c in row)
 
 
@@ -111,11 +119,11 @@ def optimal_schedule(deps: DependenceMatrix, domain: Polyhedron,
     points = domain.points_array(params)
     if points.size == 0:
         raise ValueError("cannot schedule an empty domain")
-    candidates = _valid_candidates(deps, len(dims), bound)
+    candidates = valid_candidates(deps, len(dims), bound)
     if candidates.shape[0] == 0:
         raise NoScheduleExists(
             f"no valid schedule with coefficients in [-{bound}, {bound}] "
-            f"for dependencies {deps}")
+            f"for dependencies {deps}", bounds=bound)
     if use_lp_bound:
         solution = _bounded_scan(dims, candidates, points, deps, domain,
                                  params)
@@ -243,7 +251,7 @@ def optimal_schedule_reference(deps: DependenceMatrix, domain: Polyhedron,
     if best is None:
         raise NoScheduleExists(
             f"no valid schedule with coefficients in [-{bound}, {bound}] "
-            f"for dependencies {deps}")
+            f"for dependencies {deps}", bounds=bound)
     chosen = LinearSchedule(dims, best[2])
     return ScheduleSolution(chosen, best[0], tuple(optima), examined)
 
@@ -286,6 +294,7 @@ def lp_lower_bound(deps: DependenceMatrix, domain: Polyhedron,
         row2[ndim + 1] = 1.0  # m - t.p <= 0
         A_ub.append(row2)
         b_ub.append(0.0)
+    from scipy.optimize import linprog  # deferred: scipy costs ~0.5 s
     res = linprog(c, A_ub=np.array(A_ub), b_ub=np.array(b_ub),
                   bounds=[(None, None)] * n_var, method="highs")
     if not res.success:

@@ -37,10 +37,11 @@ from repro.space.allocation import (
     enumerate_space_maps,
 )
 from repro.space.diophantine import LinkDecomposer
+from repro.util.errors import SynthesisError
 from repro.util.instrument import STATS
 
 
-class NoSpaceMapExists(Exception):
+class NoSpaceMapExists(SynthesisError):
     """No joint allocation satisfies the local and global constraints."""
 
 
@@ -125,7 +126,8 @@ def solve_multimodule_space(problems: Sequence[ModuleSpaceProblem],
         if not cands:
             raise NoSpaceMapExists(
                 f"module {p.name}: no locally feasible space map "
-                f"(bound={p.bound}, offsets={tuple(p.offsets)})")
+                f"(bound={p.bound}, offsets={tuple(p.offsets)})",
+                module=p.name, bounds=(p.bound, tuple(p.offsets)))
         candidate_lists[p.name] = cands
 
     # -- hoisted per-candidate data ------------------------------------------

@@ -1,0 +1,37 @@
+"""The common failure type of the synthesis engine.
+
+Both solver families — time (``NoScheduleExists``) and space
+(``NoSpaceMapExists``) — signal "no design exists within the searched
+bounds" conditions.  They share this base so that batch jobs and API
+callers can catch one exception type; the base carries the context a
+caller needs to decide whether to escalate (which module failed, which
+bounds were tried).
+
+The class lives in :mod:`repro.util` because it must be importable from
+the solver leaves without touching :mod:`repro.core` (which imports the
+solvers); the blessed import surface is :mod:`repro.core.errors`, which
+re-exports it alongside the concrete subclasses.
+"""
+
+from __future__ import annotations
+
+
+class SynthesisError(Exception):
+    """No feasible design exists within the searched bounds (or at all).
+
+    Attributes
+    ----------
+    module:
+        Name of the recurrence module whose sub-problem failed, or ``None``
+        when the failure is a joint (multi-module) one.
+    bounds:
+        The bounds the failing search tried — an ``int`` coefficient bound,
+        a ``(bound, offsets)`` tuple, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str = "", *,
+                 module: str | None = None,
+                 bounds: object | None = None) -> None:
+        super().__init__(message)
+        self.module = module
+        self.bounds = bounds

@@ -1,0 +1,40 @@
+"""Deferred module imports for heavy optional-on-the-hot-path dependencies.
+
+``import repro`` is on the startup path of every CLI invocation; networkx
+alone costs ~0.4 s to import but is only touched by the machine simulator,
+Dilworth decomposition and dependence-DAG analyses.  A :class:`LazyModule`
+stands in for the real module and imports it on first attribute access, so
+cache-served commands (a warm ``repro sweep``) never pay for it.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+class LazyModule:
+    """A module proxy that imports its target on first attribute access."""
+
+    def __init__(self, name: str) -> None:
+        self.__dict__["_lazy_name"] = name
+        self.__dict__["_lazy_module"] = None
+
+    def _lazy_load(self):
+        module = self.__dict__["_lazy_module"]
+        if module is None:
+            module = importlib.import_module(self.__dict__["_lazy_name"])
+            self.__dict__["_lazy_module"] = module
+        return module
+
+    def __getattr__(self, attr: str):
+        return getattr(self._lazy_load(), attr)
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.__dict__["_lazy_module"] is not None \
+            else "deferred"
+        return f"<lazy module {self.__dict__['_lazy_name']!r} ({state})>"
+
+
+def lazy_import(name: str) -> LazyModule:
+    """A :class:`LazyModule` for ``name`` (e.g. ``lazy_import("networkx")``)."""
+    return LazyModule(name)

@@ -1,0 +1,102 @@
+"""The consolidated repro.api surface, options object and error hierarchy."""
+
+import pytest
+
+from repro import api
+from repro.arrays import FIG2_EXTENDED
+from repro.core import SynthesisOptions, synthesize
+from repro.core.errors import (
+    NoScheduleExists,
+    NoSpaceMapExists,
+    SynthesisError,
+)
+from repro.problems import dp_system
+
+
+class TestApiSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_blessed_entry_points(self):
+        assert api.synthesize is synthesize
+        assert api.SynthesisOptions is SynthesisOptions
+        assert callable(api.run_sweep)
+        assert callable(api.cache_key)
+        assert "dp" in api.PROBLEM_BUILDERS
+
+    def test_resolve_interconnect_aliases(self):
+        assert api.resolve_interconnect("fig2") is FIG2_EXTENDED
+        assert api.resolve_interconnect(FIG2_EXTENDED) is FIG2_EXTENDED
+        with pytest.raises(KeyError, match="unknown interconnect"):
+            api.resolve_interconnect("warp-drive")
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.SynthesisOptions is SynthesisOptions
+        assert repro.SynthesisError is SynthesisError
+        assert repro.run_sweep is api.run_sweep
+
+
+class TestSynthesisOptions:
+    def test_options_equivalent_to_legacy_kwargs(self):
+        system, params = dp_system(), {"n": 6}
+        via_options = synthesize(system, params, FIG2_EXTENDED,
+                                 SynthesisOptions(time_bound=3))
+        with pytest.warns(DeprecationWarning, match="time_bound"):
+            via_kwargs = synthesize(system, params, FIG2_EXTENDED,
+                                    time_bound=3)
+        assert via_options.to_dict() == via_kwargs.to_dict()
+
+    def test_options_plus_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            synthesize(dp_system(), {"n": 6}, FIG2_EXTENDED,
+                       SynthesisOptions(), time_bound=3)
+
+    def test_frozen_and_hashable(self):
+        opts = SynthesisOptions(schedule_offsets=[0, 1])
+        assert opts.schedule_offsets == (0, 1)   # sequences normalise
+        assert hash(opts) == hash(SynthesisOptions(schedule_offsets=(0, 1)))
+        with pytest.raises(AttributeError):
+            opts.time_bound = 5
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SynthesisOptions(time_bound=0)
+
+    def test_dict_round_trip(self):
+        opts = SynthesisOptions(time_bound=4, space_bound=2,
+                                schedule_offsets=(0, 1), space_offsets=None)
+        assert SynthesisOptions.from_dict(opts.to_dict()) == opts
+
+
+class TestErrorHierarchy:
+    def test_concrete_errors_share_the_base(self):
+        assert issubclass(NoScheduleExists, SynthesisError)
+        assert issubclass(NoSpaceMapExists, SynthesisError)
+
+    def test_carries_module_and_bounds(self):
+        err = NoScheduleExists("no schedule", module="m1", bounds=3)
+        assert err.module == "m1" and err.bounds == 3
+
+    def test_raised_errors_are_catchable_as_base(self):
+        from repro.arrays import LINEAR_BIDIR
+
+        # dp needs a diagonal link the linear patterns lack.
+        with pytest.raises(SynthesisError) as info:
+            synthesize(dp_system(), {"n": 6}, LINEAR_BIDIR)
+        assert info.value.bounds is not None
+
+    def test_blessed_location_matches_util(self):
+        from repro.util.errors import SynthesisError as util_base
+
+        assert SynthesisError is util_base
+
+
+class TestSolverSurface:
+    def test_valid_candidates_public(self):
+        from repro.schedule import valid_candidates
+        from repro.schedule.solver import _valid_candidates
+
+        assert valid_candidates is _valid_candidates

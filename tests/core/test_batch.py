@@ -1,0 +1,108 @@
+"""Batch sweeps: the 2x2 smoke grid, caching, and the worker pool."""
+
+import pytest
+
+from repro.core import SweepSpec, SynthesisOptions, run_sweep
+from repro.report import sweep_pareto_table, sweep_table
+
+SMOKE = SweepSpec(
+    problems=("dp", "conv-backward"),
+    interconnects=("fig1", "linear"),
+    param_grid=({"n": 6, "s": 3},),
+)
+
+
+class TestSweepSmoke:
+    def test_parallel_2x2_grid(self, tmp_path):
+        report = run_sweep(SMOKE, workers=2, cache_dir=tmp_path)
+        assert len(report.results) == 4
+        assert report.workers == 2
+        assert report.cache_hits == 0 and report.cache_misses == 4
+        # dp needs a bidirectional diagonal; the pure-linear pattern can't
+        # place it — that failure is recorded, not raised.
+        ok = report.ok_results
+        failed = report.failures
+        assert len(ok) == 3 and len(failed) == 1
+        assert failed[0].problem == "dp"
+        assert failed[0].error_type == "NoSpaceMapExists"
+        assert failed[0].error_module is not None
+        for r in ok:
+            assert r.cells > 0 and r.completion_time > 0
+            assert r.design_payload is not None
+
+    def test_warm_rerun_hits_cache_and_is_byte_identical(self, tmp_path):
+        cold = run_sweep(SMOKE, workers=0, cache_dir=tmp_path)
+        warm = run_sweep(SMOKE, workers=0, cache_dir=tmp_path)
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+        assert all(r.cache_hit for r in warm.results)
+        # Negative entries hit too: the infeasible job is not re-solved.
+        assert any(r.cache_hit and not r.ok for r in warm.results)
+        assert warm.cross_check and warm.cross_check.startswith("ok")
+        assert sweep_table(warm.results) == sweep_table(cold.results)
+        assert sweep_pareto_table(warm.pareto()) == \
+            sweep_pareto_table(cold.pareto())
+        # The issue's acceptance bar: cached re-runs skip the solvers.
+        assert warm.wall_time < cold.wall_time / 10
+
+    def test_results_sorted_deterministically(self, tmp_path):
+        report = run_sweep(SMOKE, workers=2, cache_dir=tmp_path)
+        keys = [r._sort_key() for r in report.results]
+        assert keys == sorted(keys)
+
+    def test_pareto_front_is_non_dominated(self, tmp_path):
+        report = run_sweep(SMOKE, workers=0, cache_dir=tmp_path)
+        front = report.pareto()
+        assert front
+        for a in front:
+            for b in report.ok_results:
+                dominates = (b.completion_time <= a.completion_time
+                             and b.cells <= a.cells
+                             and (b.completion_time, b.cells)
+                             != (a.completion_time, a.cells))
+                assert not dominates
+
+    def test_no_cache_mode(self, tmp_path):
+        report = run_sweep(SMOKE, workers=0, use_cache=False,
+                           cache_dir=tmp_path)
+        assert report.cache_hits == 0
+        assert not any(tmp_path.glob("*.json"))
+
+    def test_rebuilt_design_from_result(self, tmp_path):
+        from repro.core.batch import resolve_problem
+
+        report = run_sweep(SMOKE, workers=0, cache_dir=tmp_path)
+        result = next(r for r in report.ok_results
+                      if r.problem == "conv-backward")
+        builder, _ = resolve_problem(result.problem)
+        design = result.design(builder())
+        assert design.cell_count == result.cells
+        assert design.completion_time == result.completion_time
+
+
+class TestSweepSpec:
+    def test_unused_params_dropped_and_deduped(self):
+        spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                         param_grid=({"n": 6, "s": 3}, {"n": 6, "s": 4}))
+        jobs = spec.jobs()
+        # dp ignores s, so both bindings collapse to the same job.
+        assert len(jobs) == 1
+        assert jobs[0].params == (("n", 6),)
+
+    def test_missing_param_raises(self):
+        spec = SweepSpec(problems=("conv-backward",),
+                         interconnects=("linear",),
+                         param_grid=({"n": 6},))
+        with pytest.raises(KeyError, match="needs parameters"):
+            spec.jobs()
+
+    def test_unknown_problem_raises(self):
+        spec = SweepSpec(problems=("fft",), interconnects=("fig1",),
+                         param_grid=({"n": 6},))
+        with pytest.raises(KeyError, match="unknown problem"):
+            spec.jobs()
+
+    def test_options_flow_into_jobs(self):
+        opts = SynthesisOptions(time_bound=5, space_bound=2)
+        spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                         param_grid=({"n": 6},), options=opts)
+        assert spec.jobs()[0].options == opts

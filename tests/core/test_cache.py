@@ -1,0 +1,116 @@
+"""The persistent design cache: payload round-trips and key stability."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    Design,
+    DesignCache,
+    SynthesisOptions,
+    cache_key,
+    link_constraints,
+    synthesize,
+)
+from repro.arrays import FIG1_UNIDIRECTIONAL, FIG2_EXTENDED, LINEAR_BIDIR
+from repro.problems import convolution_backward, dp_system
+from repro.report import render_array
+
+
+class TestDesignRoundTrip:
+    def test_dp_round_trip_renders_identically(self, dp_design_fig2):
+        payload = json.loads(json.dumps(dp_design_fig2.to_dict()))
+        rebuilt = Design.from_dict(payload, dp_design_fig2.system)
+        assert render_array(rebuilt) == render_array(dp_design_fig2)
+
+    def test_conv_backward_round_trip_renders_identically(
+            self, conv_design_backward):
+        payload = json.loads(json.dumps(conv_design_backward.to_dict()))
+        rebuilt = Design.from_dict(payload, conv_design_backward.system)
+        assert render_array(rebuilt) == render_array(conv_design_backward)
+        assert rebuilt.cell_count == conv_design_backward.cell_count
+        assert rebuilt.completion_time == conv_design_backward.completion_time
+
+
+class TestCacheKey:
+    def test_stable_across_processes(self):
+        """The key must be value-based: a fresh interpreter recomputes
+        the identical SHA-256 for the same job."""
+        parent = cache_key(dp_system(), {"n": 8}, FIG2_EXTENDED,
+                           SynthesisOptions())
+        script = (
+            "from repro.core import cache_key, SynthesisOptions\n"
+            "from repro.arrays import FIG2_EXTENDED\n"
+            "from repro.problems import dp_system\n"
+            "print(cache_key(dp_system(), {'n': 8}, FIG2_EXTENDED,"
+            " SynthesisOptions()))\n"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert child == parent
+
+    def test_stable_within_process(self):
+        a = cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL)
+        b = cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL)
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL,
+                         SynthesisOptions())
+        assert cache_key(dp_system(), {"n": 9}, FIG1_UNIDIRECTIONAL,
+                         SynthesisOptions()) != base
+        assert cache_key(dp_system(), {"n": 8}, FIG2_EXTENDED,
+                         SynthesisOptions()) != base
+        assert cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL,
+                         SynthesisOptions(time_bound=5)) != base
+        assert cache_key(convolution_backward(), {"n": 8, "s": 3},
+                         LINEAR_BIDIR) != base
+
+
+class TestDesignCache:
+    def test_put_get_round_trip(self, tmp_path, dp_sys, dp_params,
+                                dp_design_fig2):
+        cache = DesignCache(tmp_path)
+        key = cache_key(dp_sys, dp_params, dp_design_fig2.interconnect)
+        assert key not in cache
+        cache.put(key, dp_design_fig2, solve_time=0.5)
+        assert key in cache and len(cache) == 1
+        cached = cache.get(key, dp_sys)
+        assert cached is not None
+        assert render_array(cached) == render_array(dp_design_fig2)
+        # Constraints are re-derived, so a cached design is fully usable.
+        assert len(cached.constraints) == \
+            len(link_constraints(dp_sys, dp_params))
+
+    def test_miss_and_corrupt_entry(self, tmp_path, dp_sys):
+        cache = DesignCache(tmp_path)
+        assert cache.load("no-such-key") is None
+        path = cache.path_for("broken")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load("broken") is None
+        assert cache.get("broken", dp_sys) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("k", {"status": "ok"})
+        entry = json.loads(cache.path_for("k").read_text())
+        entry["format"] = -1
+        cache.path_for("k").write_text(json.dumps(entry))
+        assert cache.load("k") is None
+
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DESIGN_CACHE", str(tmp_path / "envcache"))
+        cache = DesignCache()
+        assert cache.root == tmp_path / "envcache"
+
+    def test_clear(self, tmp_path, dp_sys, dp_params, dp_design_fig1):
+        cache = DesignCache(tmp_path)
+        key = cache_key(dp_sys, dp_params, dp_design_fig1.interconnect)
+        cache.put(key, dp_design_fig1)
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -24,6 +24,47 @@ class TestSynthesize:
         with pytest.raises(SystemExit):
             main(["synthesize", "--interconnect", "warp-drive"])
 
+    def test_verify_reports_seed(self, capsys):
+        assert main(["synthesize", "--problem", "conv-backward",
+                     "--n", "8", "--s", "3", "--interconnect", "linear",
+                     "--verify", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "(seed=7)" in out
+
+
+class TestSweep:
+    def test_smoke_grid(self, tmp_path, capsys):
+        argv = ["sweep", "--problems", "dp,conv-backward",
+                "--interconnects", "fig1,linear", "--n", "6", "--s", "3",
+                "--workers", "2", "--cache-dir", str(tmp_path),
+                "--json", str(tmp_path / "sweep.json"), "--stats"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Pareto front" in cold
+        assert "NoSpaceMapExists" in cold      # dp on linear is infeasible
+        assert "cache: 0 hits, 4 misses" in cold
+        assert (tmp_path / "sweep.json").is_file()
+        # Warm re-run: all hits, tables byte-identical.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 4 hits, 0 misses" in warm
+        assert "cross-check: ok" in warm
+
+        def tables(text):
+            return [ln for ln in text.splitlines()
+                    if ln.startswith(("|", "+"))]
+
+        assert tables(warm) == tables(cold)
+
+    def test_unknown_problem(self):
+        with pytest.raises(SystemExit, match="unknown problem"):
+            main(["sweep", "--problems", "fft"])
+
+    def test_bad_param_value(self):
+        with pytest.raises(SystemExit, match="bad --n/--s"):
+            main(["sweep", "--n", "six"])
+
 
 class TestExplore:
     def test_backward_table(self, capsys):
