@@ -17,11 +17,12 @@ from repro.ir import trace_execution
 from repro.machine import compile_design, run
 
 
-def machine_run(system, params, design, inputs, strict=True):
+def machine_run(system, params, design, inputs, strict=True,
+                engine="interpreted"):
     trace = trace_execution(system, params, inputs)
     mc = compile_design(trace, design.schedules, design.space_maps,
                         design.interconnect.decomposer())
-    return run(mc, trace, inputs, strict=strict), trace
+    return run(mc, trace, inputs, strict=strict, engine=engine), trace
 
 
 @pytest.fixture

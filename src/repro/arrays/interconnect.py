@@ -18,6 +18,9 @@ import numpy as np
 
 from repro.space.diophantine import LinkDecomposer
 
+#: process-wide decomposer cache, one per distinct Δ (column tuple).
+_DECOMPOSERS: dict[tuple[tuple[int, ...], ...], LinkDecomposer] = {}
+
 
 @dataclass(frozen=True)
 class Interconnect:
@@ -48,7 +51,13 @@ class Interconnect:
         return np.array(self.columns, dtype=np.int64).T
 
     def decomposer(self) -> LinkDecomposer:
-        return LinkDecomposer(self.matrix())
+        """One shared decomposer per pattern (keyed by Δ's columns), so its
+        BFS distance/decomposition caches persist across synthesis and
+        verification calls instead of dying with each fresh instance."""
+        dec = _DECOMPOSERS.get(self.columns)
+        if dec is None:
+            dec = _DECOMPOSERS[self.columns] = LinkDecomposer(self.matrix())
+        return dec
 
     def moves(self) -> tuple[tuple[int, ...], ...]:
         """Non-zero link vectors."""

@@ -13,7 +13,7 @@ chains and, ultimately, the non-uniform design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.ir.program import HighLevelSpec
@@ -27,13 +27,22 @@ class AvailabilityOrder:
     spec: HighLevelSpec
     coarse: LinearSchedule
     point: tuple[int, ...]
+    _availability_cache: dict = field(default_factory=dict, repr=False,
+                                      compare=False)
 
     def availability(self, k: int) -> int:
         """``max_j T(operand_j(point, k))`` — when the last operand of the
-        computation ``(point, k)`` is ready under the coarse timing."""
-        return max(
-            self.coarse.time(arg.operand_point(self.point, k))
-            for arg in self.spec.args)
+        computation ``(point, k)`` is ready under the coarse timing.
+
+        Memoised per ``k``: the chain-splitting loops
+        (:func:`minimal_elements`, ``greedy_chains``) ask for the same
+        availability O(k²) times while peeling minima."""
+        cached = self._availability_cache.get(k)
+        if cached is None:
+            cached = self._availability_cache[k] = max(
+                self.coarse.time(arg.operand_point(self.point, k))
+                for arg in self.spec.args)
+        return cached
 
     def k_values(self) -> list[int]:
         binding = dict(zip(self.spec.dims, self.point))

@@ -96,15 +96,19 @@ def cmd_synthesize(args) -> int:
     if "s" in needed:
         params["s"] = args.s
     system = builder()
-    design = synthesize(system, params, _interconnect(args.interconnect))
+    options = SynthesisOptions(engine=args.engine)
+    design = synthesize(system, params, _interconnect(args.interconnect),
+                        options)
     print(module_table(design, f"{args.problem} on {args.interconnect} "
                                f"({params})"))
     print()
     print(render_array(design))
     if args.verify:
         report = verify_design(
-            design, _random_inputs(args.problem, params, args.seed))
-        print(f"\nverification: {report}  (seed={args.seed})")
+            design, _random_inputs(args.problem, params, args.seed),
+            engine=options.engine)
+        print(f"\nverification: {report}  (seed={args.seed}, "
+              f"engine={options.engine})")
         if report.machine_stats:
             s = report.machine_stats
             print(f"machine: {s.cycles} cycles, {s.cells_used} cells, "
@@ -215,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the design on the systolic machine")
     p.add_argument("--seed", type=int, default=0,
                    help="RNG seed for the random verification inputs")
+    p.add_argument("--engine", choices=["compiled", "interpreted"],
+                   default="compiled",
+                   help="machine execution engine for --verify: 'compiled' "
+                        "lowers microcode to integer-indexed form (fast), "
+                        "'interpreted' is the cycle-by-cycle oracle")
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("explore", help="enumerate convolution designs",

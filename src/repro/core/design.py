@@ -36,6 +36,10 @@ class Design:
 
     _points_cache: dict[str, np.ndarray] = field(default_factory=dict,
                                                  repr=False)
+    #: value-independent verification artifacts (execution plan, microcode,
+    #: lowered machine, symbolic-check outcome) keyed by stage name — filled
+    #: lazily by :func:`repro.core.verify.verify_design`'s compiled engine.
+    _exec_cache: dict[str, object] = field(default_factory=dict, repr=False)
 
     def module_points(self, name: str) -> np.ndarray:
         if name not in self._points_cache:

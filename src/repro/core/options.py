@@ -28,12 +28,21 @@ class SynthesisOptions:
     schedule constants tried before escalation; ``space_offsets=None`` tries
     translation-free space maps first and escalates to offsets in ``[-1, 1]``
     only if needed.
+
+    ``engine`` selects the execution strategy downstream consumers
+    (verification, sweep cross-checks) use to run the design's machine:
+    ``"compiled"`` lowers microcode to integer-indexed form once and caches
+    the artifacts on the design; ``"interpreted"`` is the cycle-by-cycle
+    oracle.  It does not influence *which* design is synthesized, so it is
+    deliberately **not** part of :meth:`to_dict` (and therefore not part of
+    the design-cache key).
     """
 
     time_bound: int = 3
     space_bound: int = 1
     schedule_offsets: tuple[int, ...] = (0,)
     space_offsets: tuple[int, ...] | None = None
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedule_offsets",
@@ -45,9 +54,17 @@ class SynthesisOptions:
             raise ValueError(
                 f"bounds out of range: time_bound={self.time_bound}, "
                 f"space_bound={self.space_bound}")
+        if self.engine not in ("compiled", "interpreted"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'compiled' or 'interpreted')")
 
     def to_dict(self) -> dict:
-        """JSON-safe canonical form (part of the design-cache key)."""
+        """JSON-safe canonical form (part of the design-cache key).
+
+        Excludes ``engine``: execution strategy does not affect the
+        synthesized design, so two options differing only in engine share
+        cache entries."""
         return {
             "time_bound": self.time_bound,
             "space_bound": self.space_bound,

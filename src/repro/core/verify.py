@@ -21,10 +21,16 @@ from typing import Callable, Mapping
 
 from repro.core.design import Design
 from repro.deps.extract import system_dependence_matrices
-from repro.ir.evaluate import trace_execution
+from repro.ir.evaluate import (
+    build_execution_plan,
+    execute_plan,
+    trace_execution,
+)
+from repro.machine.compiled import lower
 from repro.machine.microcode import compile_design
 from repro.machine.simulator import MachineStats, run
 from repro.space.allocation import conflict_free, flows_realisable
+from repro.util.instrument import STATS
 
 
 @dataclass
@@ -48,14 +54,10 @@ class VerificationReport:
         return f"VerificationReport({status})"
 
 
-def verify_design(design: Design, inputs: Mapping[str, Callable],
-                  strict_capacity: bool = True) -> VerificationReport:
-    """Run all symbolic and physical checks; never raises on a *design*
-    failure (the report carries it), only on infrastructure errors."""
-    report = VerificationReport()
+def _symbolic_checks(design: Design, report: VerificationReport,
+                     decomposer) -> None:
+    """Conditions (1)–(3) and the global gaps — value-independent."""
     deps = system_dependence_matrices(design.system)
-    decomposer = design.interconnect.decomposer()
-
     for name in design.system.modules:
         sched = design.schedules[name]
         smap = design.space_maps[name]
@@ -83,12 +85,70 @@ def verify_design(design: Design, inputs: Mapping[str, Callable],
             report.failures.append(
                 f"global constraint {gc.name}: gap below {gc.min_gap}")
 
+
+def verify_design(design: Design, inputs: Mapping[str, Callable],
+                  strict_capacity: bool = True,
+                  engine: str = "compiled") -> VerificationReport:
+    """Run all symbolic and physical checks; never raises on a *design*
+    failure (the report carries it), only on infrastructure errors.
+
+    ``engine="compiled"`` (default) evaluates the reference trace through a
+    precomputed execution plan and runs the machine through the lowered
+    integer-indexed program; every value-independent artifact (the plan, the
+    microcode, the lowered machine, the symbolic-check outcome) is cached on
+    the design, so repeated verification — sweeps cross-checking many input
+    seeds — only redoes the value passes.  ``engine="interpreted"`` is the
+    from-scratch oracle: recursive-free reference evaluation plus the
+    cycle-by-cycle simulator, nothing cached.
+    """
+    if engine not in ("compiled", "interpreted"):
+        raise ValueError(f"unknown engine {engine!r} "
+                         "(expected 'compiled' or 'interpreted')")
+    report = VerificationReport()
+    decomposer = design.interconnect.decomposer()
+    cache = design._exec_cache if engine == "compiled" else None
+
+    with STATS.stage("verify.symbolic"):
+        if cache is not None and "symbolic" in cache:
+            flags, failures = cache["symbolic"]
+            (report.schedule_valid, report.conflict_free,
+             report.global_gaps_ok, report.flows_ok) = flags
+            report.failures.extend(failures)
+        else:
+            _symbolic_checks(design, report, decomposer)
+            if cache is not None:
+                cache["symbolic"] = (
+                    (report.schedule_valid, report.conflict_free,
+                     report.global_gaps_ok, report.flows_ok),
+                    list(report.failures))
+
     # Physical execution against the reference evaluator.
-    trace = trace_execution(design.system, design.params, inputs)
+    with STATS.stage("verify.reference"):
+        if cache is not None:
+            plan = cache.get("plan")
+            if plan is None:
+                plan = cache["plan"] = build_execution_plan(
+                    design.system, design.params)
+            trace = execute_plan(plan, inputs)
+        else:
+            trace = trace_execution(design.system, design.params, inputs)
     try:
-        mc = compile_design(trace, design.schedules, design.space_maps,
-                            decomposer)
-        machine = run(mc, trace, inputs, strict=strict_capacity)
+        if cache is not None:
+            with STATS.stage("verify.compile"):
+                lowered = cache.get("machine")
+                if lowered is None:
+                    mc = compile_design(trace, design.schedules,
+                                        design.space_maps, decomposer)
+                    lowered = cache["machine"] = lower(mc, trace)
+            with STATS.stage("verify.machine"):
+                machine = lowered.execute(inputs, strict=strict_capacity)
+        else:
+            with STATS.stage("verify.compile"):
+                mc = compile_design(trace, design.schedules,
+                                    design.space_maps, decomposer)
+            with STATS.stage("verify.machine"):
+                machine = run(mc, trace, inputs, strict=strict_capacity,
+                              engine=engine)
     except Exception as exc:  # machine errors are design failures
         report.machine_matches_reference = False
         report.failures.append(f"machine: {type(exc).__name__}: {exc}")

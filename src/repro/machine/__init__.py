@@ -17,6 +17,7 @@ from repro.machine.errors import (
     MachineError,
     MissingOperandError,
 )
+from repro.machine.compiled import CompiledMachine, lower, run_compiled
 from repro.machine.microcode import Hop, Injection, Microcode, Operation, compile_design
 from repro.machine.simulator import MachineRun, MachineStats, run
 
@@ -29,6 +30,7 @@ __all__ = [
     "render_activity",
     "stream_traffic",
     "CausalityError",
+    "CompiledMachine",
     "Hop",
     "Injection",
     "LocalityError",
@@ -39,5 +41,7 @@ __all__ = [
     "MissingOperandError",
     "Operation",
     "compile_design",
+    "lower",
     "run",
+    "run_compiled",
 ]

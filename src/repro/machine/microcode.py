@@ -31,10 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
+from repro.ir.arrayeval import eval_index_int
 from repro.ir.evaluate import SystemTrace, ValueKey
 from repro.ir.statements import ComputeRule, InputRule, LinkRule
 from repro.machine.errors import CapacityError, CausalityError, LocalityError
 from repro.space.diophantine import LinkDecomposer
+from repro.util.instrument import STATS
 
 Cell = tuple[int, ...]
 
@@ -105,15 +109,45 @@ def compile_design(trace: SystemTrace, schedules: Mapping[str, object],
     :class:`~repro.space.allocation.SpaceMap`.
     """
     mc = Microcode()
-    # Placement of every value.
-    for key in trace.events:
-        t = schedules[key.module].time(key.point)
-        cell = space_maps[key.module].cell(key.point)
-        mc.placement[key] = (t, cell)
+    # Placement of every value: batch T and S per module over the point
+    # array instead of evaluating them key by key.
+    with STATS.stage("machine.compile.placement"):
+        by_module: dict[str, list[ValueKey]] = {}
+        for key in trace.events:
+            by_module.setdefault(key.module, []).append(key)
+        for mod, keys in by_module.items():
+            ndims = len(trace.system.modules[mod].dims)
+            pts = np.array([k.point for k in keys],
+                           dtype=np.int64).reshape(len(keys), ndims)
+            times = schedules[mod].times(pts).tolist()
+            cells = list(map(tuple, space_maps[mod].cells(pts).tolist()))
+            for key, t, cell in zip(keys, times, cells):
+                mc.placement[key] = (int(t), cell)
 
     times = [t for t, _ in mc.placement.values()]
     mc.first_cycle = min(times) if times else 0
     mc.last_cycle = max(times) if times else 0
+
+    # Injection indices: evaluate each InputRule's index expressions over
+    # the whole batch of points selecting that rule.
+    inj_index: dict[ValueKey, tuple[int, ...]] = {}
+    with STATS.stage("machine.compile.injections"):
+        inj_groups: dict[tuple[str, int], tuple[object, list[ValueKey]]] = {}
+        for key, event in trace.events.items():
+            if isinstance(event.rule, InputRule):
+                group = inj_groups.setdefault(
+                    (key.module, id(event.rule)), (event.rule, []))
+                group[1].append(key)
+        for (mod, _), (rule, keys) in inj_groups.items():
+            dims = trace.system.modules[mod].dims
+            pts = np.array([k.point for k in keys],
+                           dtype=np.int64).reshape(len(keys), len(dims))
+            cols = [eval_index_int(e, dims, pts, trace.params)
+                    for e in rule.index]
+            rows = (map(tuple, np.column_stack(cols).tolist()) if cols
+                    else (() for _ in keys))
+            for key, idx in zip(keys, rows):
+                inj_index[key] = idx
 
     seen_hops: set[tuple[ValueKey, Cell, Cell, int]] = set()
     # Channel reservations: one value per (link, stream, cycle).
@@ -171,11 +205,8 @@ def compile_design(trace: SystemTrace, schedules: Mapping[str, object],
         rule = event.rule
         stream = (key.module, key.var)
         if isinstance(rule, InputRule):
-            binding = {**trace.params,
-                       **dict(zip(trace.system.modules[key.module].dims,
-                                  key.point))}
-            idx = tuple(e.evaluate_int(binding) for e in rule.index)
-            mc.injections.append(Injection(key, cell, t, rule.input_name, idx))
+            mc.injections.append(Injection(key, cell, t, rule.input_name,
+                                           inj_index[key]))
             continue
         if isinstance(rule, LinkRule):
             src = event.operands[0]
@@ -206,8 +237,9 @@ def compile_design(trace: SystemTrace, schedules: Mapping[str, object],
         t_src, _ = mc.placement[value]
         return (t_dst, t_dst - t_src)
 
-    for value, consumer, min_gap in sorted(route_requests, key=deadline):
-        route(value, consumer, min_gap)
+    with STATS.stage("machine.compile.routing"):
+        for value, consumer, min_gap in sorted(route_requests, key=deadline):
+            route(value, consumer, min_gap)
 
     mc.injections.sort(key=lambda e: (e.cycle, e.cell))
     mc.operations.sort(key=lambda e: (e.cycle, e.cell))

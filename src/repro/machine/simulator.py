@@ -109,7 +109,8 @@ def _last_uses(mc: Microcode) -> dict[tuple[Cell, ValueKey], int]:
 
 def run(mc: Microcode, trace: SystemTrace,
         inputs: Mapping[str, Callable], strict: bool = True,
-        reclaim_registers: bool = True) -> MachineRun:
+        reclaim_registers: bool = True,
+        engine: str = "interpreted") -> MachineRun:
     """Execute the microcode cycle by cycle.
 
     ``inputs`` binds host input names to callables (same binding as the
@@ -117,8 +118,24 @@ def run(mc: Microcode, trace: SystemTrace,
     values are results) — not values.  With ``reclaim_registers`` (default)
     a value's register is freed after its last local use, so
     ``stats.max_registers_per_cell`` measures true register pressure.
+
+    ``engine`` selects the execution strategy: ``"interpreted"`` is this
+    cycle-by-cycle loop — the semantic oracle; ``"compiled"`` lowers the
+    microcode to integer-indexed form first
+    (:mod:`repro.machine.compiled`) and produces identical output.
     """
-    registers: dict[Cell, dict[ValueKey, object]] = defaultdict(dict)
+    if engine == "compiled":
+        from repro.machine.compiled import run_compiled
+
+        return run_compiled(mc, trace, inputs, strict=strict,
+                            reclaim_registers=reclaim_registers)
+    if engine != "interpreted":
+        raise ValueError(f"unknown engine {engine!r} "
+                         "(expected 'compiled' or 'interpreted')")
+    # Register files spring into being on first write: explicit .get()
+    # probes keep cells that merely relay or read from materialising empty
+    # files (a defaultdict here used to inflate the per-cycle pressure scan).
+    registers: dict[Cell, dict[ValueKey, object]] = {}
     values: dict[ValueKey, object] = {}
     stats = MachineStats()
     last_use = _last_uses(mc) if reclaim_registers else {}
@@ -147,7 +164,8 @@ def run(mc: Microcode, trace: SystemTrace,
         link_usage: dict[tuple[Cell, Cell, tuple[str, str]], ValueKey] = {}
         arrivals: list[tuple[Cell, ValueKey, object]] = []
         for hop in hops_by_cycle.get(cycle, ()):
-            if hop.key not in registers[hop.src]:
+            src_regs = registers.get(hop.src)
+            if src_regs is None or hop.key not in src_regs:
                 raise MissingOperandError(
                     f"cycle {cycle}: hop of {hop.key} out of {hop.src} but "
                     f"the value is not there")
@@ -160,16 +178,16 @@ def run(mc: Microcode, trace: SystemTrace,
                         f"cycle {cycle}: stream {hop.stream} needs link "
                         f"{hop.src}->{hop.dst} twice")
             link_usage[channel] = hop.key
-            arrivals.append((hop.dst, hop.key, registers[hop.src][hop.key]))
+            arrivals.append((hop.dst, hop.key, src_regs[hop.key]))
             all_cells.update((hop.src, hop.dst))
         for dst, key, value in arrivals:
-            registers[dst][key] = value
+            registers.setdefault(dst, {})[key] = value
         stats.hops += len(arrivals)
 
         # Phase 2 — host injections.
         for e in inj_by_cycle.get(cycle, ()):
             value = inputs[e.input_name](*e.input_index)
-            registers[e.cell][e.key] = value
+            registers.setdefault(e.cell, {})[e.key] = value
             values[e.key] = value
             stats.injections += 1
             all_cells.add(e.cell)
@@ -177,19 +195,21 @@ def run(mc: Microcode, trace: SystemTrace,
         # Phase 3 — cell operations (topologically ordered within a cell).
         for cell, ops in ops_by_cycle.get(cycle, {}).items():
             for op in _order_same_cycle(ops, mc.placement):
-                regs = registers[cell]
+                regs = registers.get(cell)
                 operand_values = []
                 for operand in op.operands:
-                    if operand not in regs:
+                    if regs is None or operand not in regs:
                         raise MissingOperandError(
                             f"cycle {cycle}, cell {cell}: {op.key} needs "
                             f"{operand}, register file has "
-                            f"{sorted(map(repr, regs))[:6]}...")
+                            f"{sorted(map(repr, regs or ()))[:6]}...")
                     operand_values.append(regs[operand])
                 if op.op is None:
                     result = operand_values[0]
                 else:
                     result = op.op(*operand_values)
+                if regs is None:
+                    regs = registers[cell] = {}
                 regs[op.key] = result
                 values[op.key] = result
                 busy.add((cell, cycle))
@@ -199,14 +219,18 @@ def run(mc: Microcode, trace: SystemTrace,
             stats.max_registers_per_cell = max(
                 stats.max_registers_per_cell,
                 max((len(r) for r in registers.values()), default=0))
-        # Reclaim registers whose last local use has passed.
+        # Reclaim registers whose last local use has passed; drop register
+        # files that empty out so they stop contributing to the scan above.
         if reclaim_registers:
-            for cell, regs in registers.items():
+            for cell in list(registers):
+                regs = registers[cell]
                 dead = [key for key in regs
                         if key not in protected
                         and last_use.get((cell, key), -10**9) <= cycle]
                 for key in dead:
                     del regs[key]
+                if not regs:
+                    del registers[cell]
 
     stats.first_cycle = mc.first_cycle
     stats.last_cycle = mc.last_cycle

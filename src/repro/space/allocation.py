@@ -115,25 +115,34 @@ def conflict_free(schedule: LinearSchedule, space: SpaceMap,
     """Exact pointwise check of condition (2) over the enumerated domain:
     no two points share both time and cell."""
     pts = np.asarray(points, dtype=np.int64)
-    if pts.shape[0] == 0:
+    if pts.shape[0] <= 1:
         return True
     times = schedule.times(pts)
     cells = space.cells(pts)
     stamped = np.column_stack([times, cells])
-    unique = np.unique(stamped, axis=0)
-    return unique.shape[0] == stamped.shape[0]
+    # One lexsort + adjacent-row comparison: a collision is two equal
+    # consecutive rows in sorted order (cheaper than np.unique, which also
+    # materialises the deduplicated array).
+    order = np.lexsort(stamped.T[::-1])
+    ranked = stamped[order]
+    return not (ranked[1:] == ranked[:-1]).all(axis=1).any()
 
 
 def flows_realisable(deps: DependenceMatrix, schedule: LinearSchedule,
                      space: SpaceMap, decomposer: LinkDecomposer) -> bool:
     """Condition (3) with the paper's locality reading: every dependence's
-    displacement must be coverable within its time slack."""
-    for v in deps.vectors:
-        slack = schedule.of_vector(v.vector)
-        disp = space.of_vector(v.vector)
-        if not decomposer.reachable_within(disp, slack):
-            return False
-    return True
+    displacement must be coverable within its time slack.
+
+    Slacks ``T d`` and displacements ``S D`` are computed for all dependence
+    columns in two matmuls; only the (cached) per-pair reachability query
+    remains scalar."""
+    D = deps.matrix()                                    # dim x k
+    slacks = np.array(schedule.coeffs, dtype=np.int64) @ D
+    disps = np.array(space.matrix, dtype=np.int64) @ D   # label_dim x k
+    return all(
+        decomposer.reachable_within(tuple(int(c) for c in disps[:, j]),
+                                    int(slacks[j]))
+        for j in range(D.shape[1]))
 
 
 def enumerate_space_maps(dims: Sequence[str], label_dim: int,

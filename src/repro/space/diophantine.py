@@ -122,10 +122,20 @@ class LinkDecomposer:
                   budget: int) -> list[tuple[int, ...]] | None:
         """An explicit hop sequence (list of link vectors, length <= budget)
         realising the displacement, or ``None``.  Used by the machine's
-        router to materialise data movement."""
-        target = tuple(int(v) for v in displacement)
+        router to materialise data movement.
+
+        Cached per (displacement, budget): the router asks the same question
+        for every consumer along a wavefront.  Returns a fresh list each
+        call, so callers may mutate their copy."""
+        hops = self._decompose_cached(tuple(int(v) for v in displacement),
+                                      int(budget))
+        return None if hops is None else list(hops)
+
+    @lru_cache(maxsize=None)
+    def _decompose_cached(self, target: tuple[int, ...],
+                          budget: int) -> tuple[tuple[int, ...], ...] | None:
         if all(v == 0 for v in target):
-            return []
+            return ()
         if budget <= 0:
             return None
         # BFS with parent pointers.
@@ -150,7 +160,7 @@ class LinkDecomposer:
                             hops.append(step)
                             node = prev
                         hops.reverse()
-                        return hops
+                        return tuple(hops)
                     nxt.append(q)
             frontier = nxt
             if not frontier:

@@ -30,7 +30,16 @@ class TestSynthesize:
                      "--verify", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "verification: VerificationReport(OK)" in out
-        assert "(seed=7)" in out
+        assert "(seed=7, engine=compiled)" in out
+
+    def test_verify_interpreted_engine(self, capsys):
+        assert main(["synthesize", "--problem", "conv-backward",
+                     "--n", "8", "--s", "3", "--interconnect", "linear",
+                     "--verify", "--engine", "interpreted", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "engine=interpreted" in out
+        assert "verify.machine" in out    # --stats shows the verify stages
 
 
 class TestSweep:

@@ -53,6 +53,29 @@ class TestVerifyDesign:
         assert not report.ok
         assert not report.flows_ok
 
+    def test_engines_agree(self):
+        """The compiled verification path (cached plan + lowered machine)
+        must reproduce the interpreted oracle's report exactly — twice, so
+        the warm cached path is exercised too."""
+        design = w2_design()
+        oracle = verify_design(design, INPUTS, engine="interpreted")
+        for _ in range(2):
+            fast = verify_design(design, INPUTS, engine="compiled")
+            assert fast.ok == oracle.ok
+            assert fast.failures == oracle.failures
+            assert fast.machine_stats == oracle.machine_stats
+
+    def test_engines_agree_on_broken_design(self):
+        broken = w2_design(schedule_coeffs=(1, -1))
+        oracle = verify_design(broken, INPUTS, engine="interpreted")
+        fast = verify_design(broken, INPUTS, engine="compiled")
+        assert not fast.ok and not oracle.ok
+        assert fast.failures == oracle.failures
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            verify_design(w2_design(), INPUTS, engine="quantum")
+
     def test_global_gap_violation_caught(self, dp_design_fig1,
                                          dp_host_inputs):
         broken = Design(
