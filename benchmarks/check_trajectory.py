@@ -1,0 +1,107 @@
+"""Tier-2 gate over the benchmark trajectory files.
+
+Each pinned benchmark appends a ``BENCH_<name>.json`` entry per run (see
+``benchmarks/conftest.py:record_pin``).  This script compares the *latest*
+entry of each trajectory against the best prior entry measured under the
+same workload context, and fails if the gated metric regressed by more
+than 2x.  A trajectory with fewer than two comparable entries passes —
+the first run of a fresh cache only seeds the baseline.
+
+Usage::
+
+    python benchmarks/check_trajectory.py [dir]
+
+``dir`` defaults to ``$REPRO_BENCH_DIR`` or the repository root.  Exit
+status is 0 when every gated metric is within bounds (or unseeded), 1 on
+any regression, so CI can wire it straight into a job step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Per-trajectory gate: (metric key, allowed latest/best ratio).  Lower is
+#: better for every gated metric (they are all wall-clock timings).
+GATES = {
+    "machine_compiled": ("compiled_ms", 2.0),
+    "sweep_cache": ("warm_s", 2.0),
+}
+
+#: Keys that never participate in workload-context matching.
+_META_KEYS = {"timestamp", "git_sha"}
+
+
+def _is_timing_key(key: str) -> bool:
+    return key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+
+
+def _context(entry: dict) -> tuple:
+    """The workload identity of one entry (problem size, grid shape, ...).
+
+    Entries are only comparable when their non-timing, non-metadata keys
+    agree — a CI smoke run at ``REPRO_BENCH_N=8`` must not gate against a
+    local run at n = 18.
+    """
+    return tuple(sorted(
+        (k, v) for k, v in entry.items()
+        if k not in _META_KEYS and not _is_timing_key(k)))
+
+
+def check_trajectory(path: Path, metric: str, ratio: float) -> str | None:
+    """``None`` if the trajectory is healthy, else a failure message."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        return f"{path.name}: unreadable trajectory ({exc})"
+    if not isinstance(entries, list) or not entries:
+        return None
+    latest = entries[-1]
+    if metric not in latest:
+        return f"{path.name}: latest entry lacks gated metric {metric!r}"
+    prior = [e for e in entries[:-1]
+             if metric in e and _context(e) == _context(latest)]
+    if not prior:
+        print(f"  {path.name}: seeded baseline "
+              f"({metric}={latest[metric]}) — nothing to gate yet")
+        return None
+    best = min(e[metric] for e in prior)
+    current = latest[metric]
+    verdict = "OK" if current <= best * ratio else "REGRESSED"
+    print(f"  {path.name}: {metric} latest={current} best_prior={best} "
+          f"(allowed <= {best * ratio:.4g}) {verdict}")
+    if verdict == "REGRESSED":
+        return (f"{path.name}: {metric} regressed to {current} "
+                f"(best prior {best}, limit {ratio}x)")
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        root = Path(argv[1])
+    else:
+        root = Path(os.environ.get("REPRO_BENCH_DIR")
+                    or Path(__file__).resolve().parent.parent)
+    print(f"benchmark trajectory gate over {root}")
+    failures = []
+    for name, (metric, ratio) in sorted(GATES.items()):
+        path = root / f"BENCH_{name}.json"
+        if not path.is_file():
+            print(f"  BENCH_{name}.json: absent — skipped")
+            continue
+        message = check_trajectory(path, metric, ratio)
+        if message:
+            failures.append(message)
+    if failures:
+        print("\ntrajectory gate FAILED:")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print("trajectory gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -5,16 +5,78 @@ Every benchmark regenerates one of the paper's evaluation artifacts
 the paper's result; timings come from pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Headline numbers additionally land in a *benchmark trajectory*: each
+pinned benchmark appends one entry to ``BENCH_<name>.json`` via
+:func:`record_pin`, tagging the measurement with a timestamp and the git
+SHA.  ``benchmarks/check_trajectory.py`` gates on those files in CI so a
+silent performance regression shows up as a failing tier-2 job rather
+than a slowly eroding speedup.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
+import tempfile
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.ir import trace_execution
 from repro.machine import compile_design, run
+from repro.obs import git_sha
+
+#: Environment variable overriding where BENCH_<name>.json files land.
+BENCH_DIR_ENV_VAR = "REPRO_BENCH_DIR"
+
+
+def bench_dir() -> Path:
+    """``$REPRO_BENCH_DIR`` if set, else the repository root."""
+    env = os.environ.get(BENCH_DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent
+
+
+def record_pin(name: str, **metrics) -> Path:
+    """Append one trajectory entry to ``BENCH_<name>.json``.
+
+    ``metrics`` should carry both the timing numbers (keys ending in
+    ``_ms``/``_s``, plus ``speedup``) and the workload context that makes
+    them comparable (``n``, grid size, ...).  The file is a JSON list,
+    newest entry last, written atomically so an interrupted run cannot
+    corrupt the trajectory.
+    """
+    root = bench_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"BENCH_{name}.json"
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(entries, list):
+            entries = []
+    except (FileNotFoundError, json.JSONDecodeError):
+        entries = []
+    entries.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git_sha(),
+        **metrics,
+    })
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(entries, fh, indent=1)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def machine_run(system, params, design, inputs, strict=True,

@@ -28,7 +28,7 @@ import time
 
 import pytest
 
-from conftest import machine_run
+from conftest import machine_run, record_pin
 from repro.arrays import FIG1_UNIDIRECTIONAL
 from repro.core import synthesize
 from repro.core.verify import verify_design
@@ -89,5 +89,9 @@ def test_compiled_verify_speedup(benchmark):
     speedup = slow / fast
     print(f"\nn={N}: interpreted {slow * 1e3:.1f} ms, "
           f"compiled {fast * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    record_pin("machine_compiled", n=N,
+               interpreted_ms=round(slow * 1e3, 3),
+               compiled_ms=round(fast * 1e3, 3),
+               speedup=round(speedup, 2))
     assert speedup >= 5.0
     benchmark(lambda: verify_design(design, inputs, engine="compiled"))

@@ -16,6 +16,7 @@ alone, not one deliberate re-synthesis.
 
 import pytest
 
+from conftest import record_pin
 from repro.core import SweepSpec, run_sweep
 from repro.report import sweep_table
 
@@ -53,5 +54,9 @@ class TestSweepCache:
             _warm, args=(tmp_path,), rounds=5, iterations=1)
         assert warm.cache_hits == len(warm.results)
         assert warm.cache_misses == 0
+        record_pin("sweep_cache", jobs=len(warm.results),
+                   cold_s=round(cold.wall_time, 4),
+                   warm_s=round(warm.wall_time, 4),
+                   speedup=round(cold.wall_time / warm.wall_time, 2))
         assert warm.wall_time < cold.wall_time / 10
         assert sweep_table(warm.results) == sweep_table(cold.results)

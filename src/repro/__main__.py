@@ -1,7 +1,15 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Piping into `head` closes stdout early; die quietly like other CLIs
+    # (devnull dup avoids a second BrokenPipeError during interpreter
+    # shutdown when the buffered stream flushes).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(1)

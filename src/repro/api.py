@@ -22,7 +22,11 @@ Surface groups:
 * persistent cache — :class:`DesignCache`, :func:`cache_key`,
   :func:`system_fingerprint`;
 * errors — :class:`SynthesisError` and its concrete subclasses;
-* naming — :func:`resolve_interconnect`, :data:`STOCK_INTERCONNECTS`.
+* naming — :func:`resolve_interconnect`, :data:`STOCK_INTERCONNECTS`;
+* observability — the span tracer (:data:`TRACER`), cycle-level machine
+  event logs (:class:`EventLog`, :class:`MachineEvent`) and persistent run
+  metrics (:class:`RunRecord`, :func:`write_run_record`,
+  :func:`load_run_record`, :func:`metrics_dir`).
 """
 
 from repro.arrays.interconnect import (
@@ -62,17 +66,35 @@ from repro.core.explore import (
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
 from repro.core.verify import VerificationReport, verify_design
+from repro.machine.analysis import CellUtilization, cell_utilization
+from repro.obs import (
+    METRICS_ENV_VAR,
+    TRACER,
+    EventLog,
+    EventSink,
+    MachineEvent,
+    RunRecord,
+    load_run_record,
+    metrics_dir,
+    write_run_record,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CellUtilization",
     "Design",
     "DesignCache",
+    "EventLog",
+    "EventSink",
     "ExploredDesign",
     "INTERCONNECT_ALIASES",
     "Interconnect",
+    "METRICS_ENV_VAR",
+    "MachineEvent",
     "NoScheduleExists",
     "NoSpaceMapExists",
     "PROBLEM_BUILDERS",
+    "RunRecord",
     "STOCK_INTERCONNECTS",
     "SweepJob",
     "SweepReport",
@@ -80,16 +102,21 @@ __all__ = [
     "SweepSpec",
     "SynthesisError",
     "SynthesisOptions",
+    "TRACER",
     "VerificationReport",
     "cache_key",
+    "cell_utilization",
     "default_cache_dir",
     "default_workers",
     "explore_interconnects",
     "explore_uniform",
+    "load_run_record",
+    "metrics_dir",
     "pareto_front",
     "resolve_interconnect",
     "run_sweep",
     "synthesize",
     "system_fingerprint",
     "verify_design",
+    "write_run_record",
 ]

@@ -10,8 +10,15 @@ Examples::
     python -m repro explore --recurrence forward --n 12 --s 4
     python -m repro sweep --problems dp,conv-backward --interconnects \
 fig1,linear --n 6,8 --stats
+    python -m repro trace --problem dp --interconnect fig1 --n 8
     python -m repro figures --n 8
     python -m repro cell --n 8 --x 3 --y 2
+
+Observability: every command accepts ``--stats`` (hierarchical span report)
+and ``--metrics-dir`` (persist a :class:`~repro.obs.metrics.RunRecord`;
+defaults to ``$REPRO_METRICS_DIR`` when set).  ``trace`` additionally
+exports cycle-level machine event logs as JSON-lines and Chrome
+``trace_event`` JSON for Perfetto.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ import argparse
 import json
 import random
 import sys
+import time
+from dataclasses import asdict
 
 from repro.api import (
     SweepSpec,
@@ -40,7 +49,20 @@ from repro.problems import (
     matmul_inputs,
     matmul_system,
 )
+from repro.ir import trace_execution
+from repro.machine import cell_utilization, compile_design, run
+from repro.obs import (
+    EventLog,
+    RunRecord,
+    TRACER,
+    canonical_order,
+    git_sha,
+    load_run_record,
+    metrics_dir,
+    write_run_record,
+)
 from repro.report import (
+    cell_utilization_table,
     design_table,
     module_table,
     render_array,
@@ -49,6 +71,10 @@ from repro.report import (
     sweep_table,
 )
 from repro.util.instrument import STATS
+
+#: Per-invocation extras commands may stash for the run record
+#: (machine stats, event counts, exported file paths).
+RUN_EXTRA: dict = {}
 
 PROBLEMS = {
     "dp": (dp_system, ("n",)),
@@ -111,6 +137,7 @@ def cmd_synthesize(args) -> int:
               f"engine={options.engine})")
         if report.machine_stats:
             s = report.machine_stats
+            RUN_EXTRA["machine_stats"] = asdict(s)
             print(f"machine: {s.cycles} cycles, {s.cells_used} cells, "
                   f"{s.operations} ops, utilization {s.utilization:.0%}")
         return 0 if report.ok else 1
@@ -180,6 +207,68 @@ def cmd_sweep(args) -> int:
     return 0 if report.ok_results else 1
 
 
+def cmd_trace(args) -> int:
+    """Record or replay a cycle-level execution trace.
+
+    Default mode synthesizes the requested design, executes it with an
+    event sink attached and exports the log twice: ``<out>.events.jsonl``
+    (one event per line) and ``<out>.trace.json`` (Chrome ``trace_event``
+    format — open in Perfetto or ``chrome://tracing``).  With
+    ``--from-record`` it instead replays a persisted
+    :class:`~repro.obs.metrics.RunRecord` in the terminal.
+    """
+    if args.from_record:
+        try:
+            record = load_run_record(args.from_record)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read run record "
+                             f"{args.from_record!r}: {exc}")
+        print(record.render())
+        return 0
+
+    builder, needed = PROBLEMS[args.problem]
+    params = {"n": args.n}
+    if "s" in needed:
+        params["s"] = args.s
+    system = builder()
+    design = synthesize(system, params, _interconnect(args.interconnect))
+    inputs = _random_inputs(args.problem, params, args.seed)
+    trace = trace_execution(system, params, inputs)
+    mc = compile_design(trace, design.schedules, design.space_maps,
+                        design.interconnect.decomposer())
+    log = EventLog()
+    machine = run(mc, trace, inputs, engine=args.engine, sink=log)
+
+    # Canonical order makes the exports byte-identical across engines.
+    log.events = canonical_order(log.events)
+
+    out = args.out or f"trace-{args.problem}-n{args.n}"
+    jsonl_path = f"{out}.events.jsonl"
+    chrome_path = f"{out}.trace.json"
+    log.write_jsonl(jsonl_path)
+    log.write_chrome_trace(chrome_path)
+
+    s = machine.stats
+    lo, hi = log.cycle_range()
+    counts = log.counts_by_kind()
+    print(f"trace: {args.problem} on {args.interconnect} ({params}), "
+          f"engine={args.engine}")
+    print(f"machine: {s.cycles} cycles [{lo}, {hi}], {s.cells_used} cells, "
+          f"{s.operations} ops, {s.hops} hops, "
+          f"utilization {s.utilization:.0%}")
+    print("events: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    print()
+    print(cell_utilization_table(cell_utilization(mc),
+                                 "per-cell utilization",
+                                 limit=args.cells))
+    print(f"\nwrote {jsonl_path}")
+    print(f"wrote {chrome_path}  (load in Perfetto / chrome://tracing)")
+    RUN_EXTRA["machine_stats"] = asdict(s)
+    RUN_EXTRA["event_counts"] = counts
+    RUN_EXTRA["exports"] = [jsonl_path, chrome_path]
+    return 0
+
+
 def cmd_figures(args) -> int:
     params = {"n": args.n}
     for alias in ("fig1", "fig2"):
@@ -206,7 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--stats", action="store_true",
                         help="print solver instrumentation (candidates "
-                             "examined, cache hits, stage wall times)")
+                             "examined, cache hits, stage wall times and "
+                             "the hierarchical span tree)")
+    common.add_argument("--metrics-dir", default=None, metavar="DIR",
+                        help="persist a structured RunRecord of this run "
+                             "(default: $REPRO_METRICS_DIR when set)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("synthesize", help="synthesize one design",
@@ -265,6 +358,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the full sweep report as JSON")
     p.set_defaults(fn=cmd_sweep)
 
+    p = sub.add_parser(
+        "trace", parents=[common],
+        help="export a cycle-level machine event trace (JSON-lines + "
+             "Chrome trace_event for Perfetto), or replay a run record")
+    p.add_argument("--problem", choices=sorted(PROBLEMS), default="dp")
+    p.add_argument("--interconnect", default="fig1")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--s", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the machine's host inputs")
+    p.add_argument("--engine", choices=["compiled", "interpreted"],
+                   default="compiled",
+                   help="execution engine emitting the events (both "
+                        "produce the identical stream)")
+    p.add_argument("--out", default=None, metavar="PREFIX",
+                   help="output prefix (default: trace-<problem>-n<n>)")
+    p.add_argument("--cells", type=int, default=12, metavar="N",
+                   help="rows of the per-cell utilization table (busiest "
+                        "first; default 12)")
+    p.add_argument("--from-record", default=None, metavar="FILE",
+                   help="replay a persisted RunRecord instead of tracing")
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("figures", help="print both DP arrays",
                        parents=[common])
     p.add_argument("--n", type=int, default=8)
@@ -282,10 +398,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    rc = args.fn(args)
-    if getattr(args, "stats", False):
+    record_root = metrics_dir(getattr(args, "metrics_dir", None))
+    want_stats = getattr(args, "stats", False)
+    was_enabled = TRACER.enabled
+    if want_stats or record_root is not None:
+        TRACER.enable()        # build span trees for the report/record
+    RUN_EXTRA.clear()
+    started = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    t0 = time.perf_counter()
+    try:
+        rc = args.fn(args)
+    finally:
+        TRACER.enabled = was_enabled
+    wall = time.perf_counter() - t0
+    if want_stats:
         print()
         print(STATS.report())
+    if record_root is not None:
+        record = RunRecord(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            started_at=started, wall_time=wall, git_sha=git_sha(),
+            stats=TRACER.snapshot(), spans=TRACER.span_dicts(),
+            machine_stats=RUN_EXTRA.get("machine_stats"),
+            extra={k: v for k, v in RUN_EXTRA.items()
+                   if k != "machine_stats"})
+        path = write_run_record(record, record_root)
+        print(f"\nrun record: {path}")
     return rc
 
 

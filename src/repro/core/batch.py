@@ -253,20 +253,36 @@ class SweepReport:
 
 
 def _execute_job(job: SweepJob, cache_root: "str | None",
-                 use_cache: bool) -> SweepResult:
+                 use_cache: bool, tracing: bool = False,
+                 in_worker: bool = False) -> SweepResult:
     """Synthesize one job (worker side or serial path) and cache the
-    outcome — the solved design, or the failure as a negative entry."""
+    outcome — the solved design, or the failure as a negative entry.
+
+    Stats protocol: a *worker* process resets the global registry so the
+    job's delta is exactly its own snapshot (and a reused pool worker never
+    accumulates span trees).  On the serial fallback the registry belongs
+    to the caller and is **left untouched** — the delta is computed by
+    differencing, so sweep counters no longer leak into (or clobber)
+    subsequent same-process runs.  With ``tracing`` the job's span subtree
+    travels back inside ``result.stats["spans"]`` and the parent grafts it,
+    mirroring the counter merge.
+    """
+    if in_worker:
+        STATS.reset()
+        if tracing:
+            STATS.enable()
     t0 = time.perf_counter()
     before = STATS.snapshot()
     system = job.builder()
     key = cache_key(system, job.params_dict, job.interconnect, job.options)
-    try:
-        design = synthesize(system, job.params_dict, job.interconnect,
-                            job.options)
-        error = None
-    except SynthesisError as exc:
-        design = None
-        error = exc
+    with STATS.span("sweep.job", job=job.label()) as job_span:
+        try:
+            design = synthesize(system, job.params_dict, job.interconnect,
+                                job.options)
+            error = None
+        except SynthesisError as exc:
+            design = None
+            error = exc
     wall = time.perf_counter() - t0
     after = STATS.snapshot()
     delta = {
@@ -277,6 +293,11 @@ def _execute_job(job: SweepJob, cache_root: "str | None",
                    for k, v in after["timers"].items()
                    if v != before["timers"].get(k, 0.0)},
     }
+    if job_span is not None and in_worker:
+        # Ship the subtree; drop the worker-side copy so a reused pool
+        # process does not grow an unbounded span forest.
+        delta["spans"] = [job_span.to_dict()]
+        STATS.discard(job_span)
     if design is not None:
         result = SweepResult(
             problem=job.problem, params=job.params_dict,
@@ -325,10 +346,16 @@ def _result_from_payload(job: SweepJob, key: str,
 
 
 def _merge_stats(delta: dict) -> None:
+    """Fold a worker's counter/timer deltas — and its span subtree — into
+    the parent registry (the serial path needs no merge: it accrued
+    directly)."""
     for name, value in delta.get("counters", {}).items():
         STATS.count(name, value)
     for name, value in delta.get("timers", {}).items():
         STATS.timers[name] = STATS.timers.get(name, 0.0) + value
+    if STATS.enabled:
+        for span_dict in delta.get("spans", ()):
+            STATS.graft(span_dict)
 
 
 def _cross_check(results: Sequence[SweepResult],
@@ -396,11 +423,14 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
             for job in pending:
                 results.append(_execute_job(job, cache_root, use_cache))
         else:
+            n = len(pending)
             with ProcessPoolExecutor(
-                    max_workers=min(nworkers, len(pending))) as pool:
+                    max_workers=min(nworkers, n)) as pool:
                 for result in pool.map(_execute_job, pending,
-                                       [cache_root] * len(pending),
-                                       [use_cache] * len(pending)):
+                                       [cache_root] * n,
+                                       [use_cache] * n,
+                                       [STATS.enabled] * n,
+                                       [True] * n):
                     _merge_stats(result.stats)
                     results.append(result)
 

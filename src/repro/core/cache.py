@@ -152,7 +152,10 @@ class DesignCache:
         """The stored payload, or ``None`` on a miss (counted in STATS).
 
         A corrupt entry (interrupted writer from a pre-atomic-write era,
-        disk mishap) is treated as a miss, not an error.
+        disk mishap) is treated as a miss, not an error.  Counters
+        distinguish hits on *negative* entries (cached infeasibility) from
+        design hits, so warm-vs-cold sweep behaviour is visible in
+        ``--stats``.
         """
         path = self.path_for(key)
         try:
@@ -165,6 +168,8 @@ class DesignCache:
             STATS.count("cache.misses")
             return None
         STATS.count("cache.hits")
+        if payload.get("status") == "error":
+            STATS.count("cache.negative_hits")
         return payload
 
     def store(self, key: str, payload: dict) -> Path:
@@ -185,6 +190,8 @@ class DesignCache:
                 pass
             raise
         STATS.count("cache.stores")
+        if payload.get("status") == "error":
+            STATS.count("cache.negative_stores")
         return path
 
     # -- designs -------------------------------------------------------------

@@ -86,6 +86,14 @@ def _symbolic_checks(design: Design, report: VerificationReport,
                 f"global constraint {gc.name}: gap below {gc.min_gap}")
 
 
+def _annotate_machine(stats: MachineStats) -> None:
+    """Attach the machine's headline numbers to the active tracer span so a
+    recorded run carries them without any caller plumbing."""
+    STATS.annotate(cycles=stats.cycles, cells=stats.cells_used,
+                   operations=stats.operations, hops=stats.hops,
+                   utilization=round(stats.utilization, 3))
+
+
 def verify_design(design: Design, inputs: Mapping[str, Callable],
                   strict_capacity: bool = True,
                   engine: str = "compiled") -> VerificationReport:
@@ -142,6 +150,7 @@ def verify_design(design: Design, inputs: Mapping[str, Callable],
                     lowered = cache["machine"] = lower(mc, trace)
             with STATS.stage("verify.machine"):
                 machine = lowered.execute(inputs, strict=strict_capacity)
+                _annotate_machine(machine.stats)
         else:
             with STATS.stage("verify.compile"):
                 mc = compile_design(trace, design.schedules,
@@ -149,6 +158,7 @@ def verify_design(design: Design, inputs: Mapping[str, Callable],
             with STATS.stage("verify.machine"):
                 machine = run(mc, trace, inputs, strict=strict_capacity,
                               engine=engine)
+                _annotate_machine(machine.stats)
     except Exception as exc:  # machine errors are design failures
         report.machine_matches_reference = False
         report.failures.append(f"machine: {type(exc).__name__}: {exc}")

@@ -3,8 +3,10 @@ cycle-accurate, strictly local simulator — the hardware substrate standing in
 for the paper's VLSI arrays."""
 
 from repro.machine.analysis import (
+    CellUtilization,
     CycleActivity,
     activity_timeline,
+    cell_utilization,
     io_schedule,
     peak_parallelism,
     render_activity,
@@ -23,8 +25,10 @@ from repro.machine.simulator import MachineRun, MachineStats, run
 
 __all__ = [
     "CapacityError",
+    "CellUtilization",
     "CycleActivity",
     "activity_timeline",
+    "cell_utilization",
     "io_schedule",
     "peak_parallelism",
     "render_activity",

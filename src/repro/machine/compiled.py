@@ -43,6 +43,7 @@ from repro.ir.evaluate import SystemTrace, ValueKey
 from repro.machine.errors import CapacityError, MissingOperandError
 from repro.machine.microcode import Microcode
 from repro.machine.simulator import MachineRun, MachineStats
+from repro.obs.events import EventSink, MachineEvent, canonical_order
 
 Cell = tuple[int, ...]
 
@@ -65,12 +66,29 @@ class CompiledMachine:
     stats: MachineStats
     #: first capacity violation, pre-formatted for the ``strict`` raise
     strict_error: str | None
+    #: structural event stream (canonical order) — only when the machine
+    #: was lowered with ``record_events=True``; value-independent, so one
+    #: lowering serves every execution
+    events: "list[MachineEvent] | None" = None
 
     def execute(self, inputs: Mapping[str, Callable],
-                strict: bool = True) -> MachineRun:
-        """Run the lowered program: one pass over the operation table."""
+                strict: bool = True,
+                sink: "EventSink | None" = None) -> MachineRun:
+        """Run the lowered program: one pass over the operation table.
+
+        ``sink`` replays the precomputed structural event stream (requires
+        ``lower(..., record_events=True)``) — the same injection / fire /
+        hop / output / reclaim vocabulary the interpreter emits live.
+        """
         if strict and self.strict_error is not None:
             raise CapacityError(self.strict_error)
+        if sink is not None:
+            if self.events is None:
+                raise ValueError(
+                    "machine was lowered without record_events=True; "
+                    "no event stream to replay")
+            for event in self.events:
+                sink.emit(event)
         buf: list[object] = [None] * len(self.keys)
         for vid, name, idx in self.injections:
             buf[vid] = inputs[name](*idx)
@@ -132,12 +150,16 @@ def _order_group(ops: list) -> list:
 
 
 def lower(mc: Microcode, trace: SystemTrace,
-          reclaim_registers: bool = True) -> CompiledMachine:
+          reclaim_registers: bool = True,
+          record_events: bool = False) -> CompiledMachine:
     """Lower microcode to a :class:`CompiledMachine`.
 
     Performs all structural validation the interpreter does dynamically
     (operand presence, hop sources, intra-cycle dependence cycles) and
-    precomputes the entire :class:`MachineStats` block.
+    precomputes the entire :class:`MachineStats` block.  With
+    ``record_events`` the cycle-level event stream (injection, fire, hop,
+    output, register-reclaim) is also derived structurally — it matches the
+    interpreter's live emission event for event.
     """
     first, last = mc.first_cycle, mc.last_cycle
     injections = [e for e in mc.injections if first <= e.cycle <= last]
@@ -321,6 +343,7 @@ def lower(mc: Microcode, trace: SystemTrace,
 
     # -- host outputs -------------------------------------------------------
     outputs: list[tuple[tuple[int, ...], int]] = []
+    output_keys: list[tuple[ValueKey, tuple[int, ...]]] = []
     for out in system.outputs:
         pts = list(out.domain.points(params))
         arr = np.array(pts, dtype=np.int64).reshape(
@@ -335,18 +358,67 @@ def lower(mc: Microcode, trace: SystemTrace,
             if vid is None or vid not in produced_set:
                 raise MissingOperandError(f"output {key} was never computed")
             outputs.append((host_key, vid))
+            output_keys.append((key, host_key))
+
+    # -- structural event stream --------------------------------------------
+    # Everything the interpreter emits live is a structural property of the
+    # microcode; re-derive it here so a lowered machine can replay the same
+    # event log without executing a single value pass.
+    events: "list[MachineEvent] | None" = None
+    if record_events:
+        events = []
+        for cycle, _, _, _, h in hop_records:
+            events.append(MachineEvent("hop", cycle, h.dst, repr(h.key),
+                                       src=h.src, stream=h.stream))
+        for cycle, _, _, e in inj_records:
+            events.append(MachineEvent("inject", cycle, e.cell, repr(e.key),
+                                       name=e.input_name))
+        for cycle, _, op, _, _ in op_records:
+            events.append(MachineEvent(
+                "fire", cycle, op.cell, repr(op.key),
+                name=op.op.name if op.op is not None else "copy",
+                stream=op.stream))
+        for key, host_key in output_keys:
+            t_prod, c_prod = mc.placement[key]
+            events.append(MachineEvent("output", t_prod, c_prod, repr(key),
+                                       name=str(host_key)))
+        if reclaim_registers:
+            cells_by_id = [None] * len(cell_ids)
+            for cell, cid in cell_ids.items():
+                cells_by_id[cid] = cell
+            for (cid, vid), cycles in arrivals.items():
+                if vid in protected:
+                    continue
+                # End-of-cycle reclamation after the last local use (or on
+                # arrival when the value is never read locally); re-arrivals
+                # after that point are reclaimed again the cycle they land.
+                release = max(min(cycles),
+                              last_use.get((cid, vid), _NEVER))
+                cell = cells_by_id[cid]
+                key_repr = repr(keys[vid])
+                if release <= last:
+                    events.append(MachineEvent("reclaim", release, cell,
+                                               key_repr))
+                for a in sorted(set(cycles)):
+                    if a > release:
+                        events.append(MachineEvent("reclaim", a, cell,
+                                                   key_repr))
+        events = canonical_order(events)
 
     return CompiledMachine(
         keys=keys,
         injections=[(vid, e.input_name, e.input_index)
                     for _, _, vid, e in inj_records],
         program=program, outputs=outputs, produced=produced, stats=stats,
-        strict_error=strict_error)
+        strict_error=strict_error, events=events)
 
 
 def run_compiled(mc: Microcode, trace: SystemTrace,
                  inputs: Mapping[str, Callable], strict: bool = True,
-                 reclaim_registers: bool = True) -> MachineRun:
+                 reclaim_registers: bool = True,
+                 sink: "EventSink | None" = None) -> MachineRun:
     """Lower and execute in one step (the ``engine="compiled"`` path of
     :func:`repro.machine.simulator.run`)."""
-    return lower(mc, trace, reclaim_registers).execute(inputs, strict)
+    lowered = lower(mc, trace, reclaim_registers,
+                    record_events=sink is not None)
+    return lowered.execute(inputs, strict, sink=sink)

@@ -31,6 +31,7 @@ nx = lazy_import("networkx")
 from repro.ir.evaluate import SystemTrace, ValueKey
 from repro.machine.errors import CapacityError, MissingOperandError
 from repro.machine.microcode import Microcode
+from repro.obs.events import EventSink, MachineEvent
 
 Cell = tuple[int, ...]
 
@@ -110,7 +111,8 @@ def _last_uses(mc: Microcode) -> dict[tuple[Cell, ValueKey], int]:
 def run(mc: Microcode, trace: SystemTrace,
         inputs: Mapping[str, Callable], strict: bool = True,
         reclaim_registers: bool = True,
-        engine: str = "interpreted") -> MachineRun:
+        engine: str = "interpreted",
+        sink: "EventSink | None" = None) -> MachineRun:
     """Execute the microcode cycle by cycle.
 
     ``inputs`` binds host input names to callables (same binding as the
@@ -123,12 +125,17 @@ def run(mc: Microcode, trace: SystemTrace,
     cycle-by-cycle loop — the semantic oracle; ``"compiled"`` lowers the
     microcode to integer-indexed form first
     (:mod:`repro.machine.compiled`) and produces identical output.
+
+    ``sink`` opts into the cycle-level event log: every injection, fire,
+    hop, output and register reclamation is emitted as a
+    :class:`~repro.obs.events.MachineEvent` (the compiled engine derives
+    the identical stream structurally).
     """
     if engine == "compiled":
         from repro.machine.compiled import run_compiled
 
         return run_compiled(mc, trace, inputs, strict=strict,
-                            reclaim_registers=reclaim_registers)
+                            reclaim_registers=reclaim_registers, sink=sink)
     if engine != "interpreted":
         raise ValueError(f"unknown engine {engine!r} "
                          "(expected 'compiled' or 'interpreted')")
@@ -180,6 +187,9 @@ def run(mc: Microcode, trace: SystemTrace,
             link_usage[channel] = hop.key
             arrivals.append((hop.dst, hop.key, src_regs[hop.key]))
             all_cells.update((hop.src, hop.dst))
+            if sink is not None:
+                sink.emit(MachineEvent("hop", cycle, hop.dst, repr(hop.key),
+                                       src=hop.src, stream=hop.stream))
         for dst, key, value in arrivals:
             registers.setdefault(dst, {})[key] = value
         stats.hops += len(arrivals)
@@ -191,6 +201,9 @@ def run(mc: Microcode, trace: SystemTrace,
             values[e.key] = value
             stats.injections += 1
             all_cells.add(e.cell)
+            if sink is not None:
+                sink.emit(MachineEvent("inject", cycle, e.cell, repr(e.key),
+                                       name=e.input_name))
 
         # Phase 3 — cell operations (topologically ordered within a cell).
         for cell, ops in ops_by_cycle.get(cycle, {}).items():
@@ -215,6 +228,11 @@ def run(mc: Microcode, trace: SystemTrace,
                 busy.add((cell, cycle))
                 stats.operations += 1
                 all_cells.add(cell)
+                if sink is not None:
+                    sink.emit(MachineEvent(
+                        "fire", cycle, cell, repr(op.key),
+                        name=op.op.name if op.op is not None else "copy",
+                        stream=op.stream))
         if registers:
             stats.max_registers_per_cell = max(
                 stats.max_registers_per_cell,
@@ -222,6 +240,7 @@ def run(mc: Microcode, trace: SystemTrace,
         # Reclaim registers whose last local use has passed; drop register
         # files that empty out so they stop contributing to the scan above.
         if reclaim_registers:
+            reclaimed: list[tuple[Cell, ValueKey]] = []
             for cell in list(registers):
                 regs = registers[cell]
                 dead = [key for key in regs
@@ -229,8 +248,16 @@ def run(mc: Microcode, trace: SystemTrace,
                         and last_use.get((cell, key), -10**9) <= cycle]
                 for key in dead:
                     del regs[key]
+                    if sink is not None:
+                        reclaimed.append((cell, key))
                 if not regs:
                     del registers[cell]
+            if sink is not None:
+                # Canonical within-cycle order: register-file iteration
+                # order is an implementation detail the log must not leak.
+                for cell, key in sorted(reclaimed,
+                                        key=lambda r: (r[0], repr(r[1]))):
+                    sink.emit(MachineEvent("reclaim", cycle, cell, repr(key)))
 
     stats.first_cycle = mc.first_cycle
     stats.last_cycle = mc.last_cycle
@@ -250,4 +277,8 @@ def run(mc: Microcode, trace: SystemTrace,
             if key not in values:
                 raise MissingOperandError(f"output {key} was never computed")
             results[host_key] = values[key]
+            if sink is not None:
+                t_prod, c_prod = mc.placement[key]
+                sink.emit(MachineEvent("output", t_prod, c_prod, repr(key),
+                                       name=str(host_key)))
     return MachineRun(values, results, stats)

@@ -1,0 +1,53 @@
+"""Observability layer: span tracing, machine event logs, run metrics.
+
+Three cooperating pieces, all opt-in and all zero-cost on hot paths when
+unused:
+
+* :mod:`repro.obs.tracer` — the hierarchical span tracer behind the
+  process-wide :data:`TRACER` (also visible as the historical
+  ``repro.util.instrument.STATS``);
+* :mod:`repro.obs.events` — the cycle-level machine event vocabulary with
+  JSON-lines and Chrome ``trace_event`` (Perfetto) exporters;
+* :mod:`repro.obs.metrics` — persistent :class:`RunRecord` files under
+  ``$REPRO_METRICS_DIR`` capturing each CLI run's spans, counters and
+  machine statistics.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventLog,
+    EventSink,
+    MachineEvent,
+    canonical_order,
+    read_jsonl,
+)
+from repro.obs.metrics import (
+    METRICS_ENV_VAR,
+    RunRecord,
+    git_sha,
+    list_run_records,
+    load_run_record,
+    metrics_dir,
+    write_run_record,
+)
+from repro.obs.tracer import TRACER, Span, Tracer, render_spans
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "EventSink",
+    "MachineEvent",
+    "METRICS_ENV_VAR",
+    "RunRecord",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "canonical_order",
+    "git_sha",
+    "list_run_records",
+    "load_run_record",
+    "metrics_dir",
+    "read_jsonl",
+    "render_spans",
+    "write_run_record",
+]

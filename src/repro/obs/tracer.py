@@ -1,0 +1,235 @@
+"""Hierarchical span tracer — the engine's structured timing substrate.
+
+The synthesis pipeline is a tree of stages (a sweep contains jobs, a job
+contains schedule/space solves, a verification contains compile and machine
+passes), but the historical :data:`~repro.util.instrument.STATS` registry
+flattened all of it into two dicts.  The :class:`Tracer` keeps that flat
+view — every existing ``--stats`` consumer and the sweep stat-merge protocol
+still read ``counters``/``timers`` exactly as before — and additionally
+builds a tree of :class:`Span` nodes when tracing is *enabled*:
+
+* :meth:`Tracer.span` is a re-entrant context manager.  Nested spans become
+  children of the active span; re-entering the *same* stage name only
+  charges the outermost frame to the flat timer, so recursive stages
+  (``verify.compile`` under a warm-cache path) no longer double-count.
+* When tracing is disabled the fast path allocates no span nodes — one dict
+  bump for the re-entrancy depth and one for the timer, same cost profile
+  the flat registry always had.
+* Span trees serialise to plain dicts (:meth:`Span.to_dict`) and merge back
+  with :meth:`Tracer.graft`, which is how ``core.batch`` workers ship their
+  trees across process boundaries alongside the counter deltas.
+
+The process-wide instance is :data:`TRACER`; ``repro.util.instrument.STATS``
+is the same object under its historical name.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "counters", "children", "start", "duration")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs: dict = attrs or {}
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.start: float = 0.0
+        self.duration: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stable keys; children in execution order)."""
+        out: dict = {"name": self.name,
+                     "duration_ms": round(self.duration * 1000, 3)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(data["name"], dict(data.get("attrs", {})))
+        span.duration = data.get("duration_ms", 0.0) / 1000
+        span.counters = dict(data.get("counters", {}))
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return span
+
+    def total(self, name: str) -> int:
+        """Counter ``name`` summed over this span and its subtree."""
+        return (self.counters.get(name, 0)
+                + sum(c.total(name) for c in self.children))
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration * 1000:.1f} ms, "
+                f"{len(self.children)} children)")
+
+
+def render_spans(spans: "list[Span]", indent: str = "  ") -> str:
+    """ASCII tree of a span forest (durations in ms, counters inline)."""
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        extras = ""
+        if span.counters:
+            extras = "  [" + ", ".join(
+                f"{k}={v}" for k, v in sorted(span.counters.items())) + "]"
+        attrs = ""
+        if span.attrs:
+            attrs = "  {" + ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())) + "}"
+        lines.append(f"{indent * depth}{span.name:<{max(1, 40 - depth * 2)}} "
+                     f"{span.duration * 1000:>9.1f} ms{extras}{attrs}")
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for span in spans:
+        walk(span, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+class Tracer:
+    """Flat counters/timers plus an optional hierarchical span tree.
+
+    The flat ``counters``/``timers`` dicts are always maintained — they are
+    the backward-compatible :class:`~repro.util.instrument.Instrumentation`
+    surface.  The span tree is only built while :attr:`enabled` is true.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+        self.enabled = False
+        self._clock = clock
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        #: per-name re-entrancy depth of currently open spans
+        self._active: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Clear all recorded data (the enabled flag is left alone)."""
+        self.counters.clear()
+        self.timers.clear()
+        self._roots.clear()
+        self._stack.clear()
+        self._active.clear()
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+        if self.enabled and self._stack:
+            span = self._stack[-1]
+            span.counters[name] = span.counters.get(name, 0) + delta
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator["Span | None"]:
+        """Open a span; yields the node (``None`` while tracing is off).
+
+        Re-entrant: the flat timer for ``name`` is charged only by the
+        outermost frame, so a stage that recurses into itself reports its
+        true wall time instead of double-counting the nested frames.  The
+        span tree records every frame.
+        """
+        depth = self._active.get(name, 0)
+        self._active[name] = depth + 1
+        node: Span | None = None
+        if self.enabled:
+            node = Span(name, dict(attrs) if attrs else None)
+            parent = self._stack[-1] if self._stack else None
+            (parent.children if parent else self._roots).append(node)
+            self._stack.append(node)
+            node.start = self._clock()
+            start = node.start
+        else:
+            start = self._clock()
+        try:
+            yield node
+        finally:
+            elapsed = self._clock() - start
+            remaining = self._active[name] - 1
+            if remaining:
+                self._active[name] = remaining
+            else:
+                del self._active[name]
+                self.timers[name] = self.timers.get(name, 0.0) + elapsed
+            if node is not None:
+                node.duration = elapsed
+                if self._stack and self._stack[-1] is node:
+                    self._stack.pop()
+
+    #: historical name of :meth:`span` — every call site predating the
+    #: tracer uses ``STATS.stage(...)``.
+    stage = span
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the active span (no-op when tracing is off)."""
+        if self.enabled and self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    # -- span forest ---------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """The recorded root spans, in execution order."""
+        return list(self._roots)
+
+    def span_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self._roots]
+
+    def graft(self, data: dict) -> Span:
+        """Attach a serialised span tree (from a worker process) under the
+        active span — the tree merge counterpart of the counter-delta merge."""
+        span = Span.from_dict(data)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self._roots).append(span)
+        return span
+
+    def discard(self, span: "Span | None") -> None:
+        """Drop a root span (worker hygiene after shipping its tree)."""
+        if span is not None and span in self._roots:
+            self._roots.remove(span)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """The flat view — key-sorted within each section and JSON-stable."""
+        return {"counters": {k: self.counters[k]
+                             for k in sorted(self.counters)},
+                "timers": {k: self.timers[k] for k in sorted(self.timers)}}
+
+    def report(self) -> str:
+        """Human-readable summary: flat entries, then the span tree when
+        tracing was enabled."""
+        lines = ["instrumentation:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<40} {self.counters[name]}")
+        for name in sorted(self.timers):
+            lines.append(f"  {name:<40} {self.timers[name] * 1000:.1f} ms")
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        if self._roots:
+            lines.append("spans:")
+            lines.append(render_spans(self._roots, indent="  "))
+        return "\n".join(lines)
+
+
+#: The process-wide tracer.  ``repro.util.instrument.STATS`` is this object.
+TRACER = Tracer()

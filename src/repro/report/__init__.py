@@ -4,6 +4,7 @@
 from repro.report.actions import action_profile, cell_actions, render_cell_actions
 from repro.report.figures import render_array, render_gantt
 from repro.report.tables import (
+    cell_utilization_table,
     design_table,
     flow_table,
     module_table,
@@ -14,6 +15,7 @@ from repro.report.tables import (
 __all__ = [
     "action_profile",
     "cell_actions",
+    "cell_utilization_table",
     "design_table",
     "flow_table",
     "module_table",

@@ -105,3 +105,29 @@ def module_table(design: Design, title: str = "") -> str:
     lo, hi = design.time_range()
     return (f"{body}\ncells: {design.cell_count}   "
             f"time: [{lo}, {hi}]   completion: {hi - lo}")
+
+
+def cell_utilization_table(utilization: Mapping, title: str = "",
+                           limit: int | None = None) -> str:
+    """Per-cell occupancy summary (from :func:`repro.machine.analysis.
+    cell_utilization`) — the non-uniformity of a design, one cell per row.
+
+    ``limit`` keeps only the ``limit`` busiest cells (by operation count)
+    and notes how many were elided — large arrays stay readable.
+    """
+    cells = sorted(utilization.values(),
+                   key=lambda u: (-u.operations, u.cell))
+    elided = 0
+    if limit is not None and len(cells) > limit:
+        elided = len(cells) - limit
+        cells = cells[:limit]
+    rows = [[str(u.cell), str(u.operations), str(u.hops_in),
+             str(u.hops_out), str(u.injections),
+             f"[{u.first_active}, {u.last_active}]",
+             f"{u.occupancy:.0%}"] for u in cells]
+    table = _format_grid(
+        ["cell", "ops", "hops in", "hops out", "inject", "active",
+         "occupancy"], rows)
+    if elided:
+        table += f"\n({elided} quieter cell(s) elided)"
+    return f"{title}\n{table}" if title else table

@@ -1,57 +1,26 @@
-"""Lightweight instrumentation shared by the synthesis engine.
+"""Compatibility shim over :mod:`repro.obs.tracer`.
 
-A single process-wide :data:`STATS` registry collects named counters
-(candidates examined, point-cache hits, ...) and wall-clock stage timers.
-The registry is deliberately simple — a couple of dicts — so that hot paths
-can record a counter with one dict update and zero allocations; the CLI's
-``--stats`` flag and the benchmarks read it back via :meth:`snapshot` /
-:meth:`report`.
+Historically this module owned a process-wide flat registry of counters and
+stage timers.  That registry is now the hierarchical span tracer in
+:mod:`repro.obs.tracer`; the tracer keeps the flat ``counters``/``timers``
+view (and the ``count`` / ``stage`` / ``snapshot`` / ``report`` / ``reset``
+surface) fully intact, so every historical call site keeps working — it just
+additionally records a span tree when tracing is enabled.
+
+New code should import :data:`repro.obs.TRACER` directly and use
+``TRACER.span(...)``; ``STATS`` here is the same object under its historical
+name, and ``Instrumentation`` aliases the tracer class so isolated
+instances (tests, tools) can still be constructed.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from repro.obs.tracer import TRACER, Tracer
 
+#: Historical alias — an ``Instrumentation()`` is a private tracer.
+Instrumentation = Tracer
 
-class Instrumentation:
-    """Named counters plus accumulated per-stage wall times."""
+#: The process-wide registry (the tracer itself).
+STATS = TRACER
 
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = {}
-        self.timers: dict[str, float] = {}
-
-    def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
-
-    def count(self, name: str, delta: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + delta
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time spent inside the ``with`` block."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.timers[name] = self.timers.get(name, 0.0) + elapsed
-
-    def snapshot(self) -> dict[str, dict]:
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
-
-    def report(self) -> str:
-        """Human-readable summary (one line per entry, sorted by name)."""
-        lines = ["instrumentation:"]
-        for name in sorted(self.counters):
-            lines.append(f"  {name:<40} {self.counters[name]}")
-        for name in sorted(self.timers):
-            lines.append(f"  {name:<40} {self.timers[name] * 1000:.1f} ms")
-        if len(lines) == 1:
-            lines.append("  (nothing recorded)")
-        return "\n".join(lines)
-
-
-STATS = Instrumentation()
+__all__ = ["Instrumentation", "STATS"]

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core import SweepSpec, SynthesisOptions, run_sweep
+from repro.core.batch import _execute_job
 from repro.report import sweep_pareto_table, sweep_table
+from repro.util.instrument import STATS
 
 SMOKE = SweepSpec(
     problems=("dp", "conv-backward"),
@@ -77,6 +79,80 @@ class TestSweepSmoke:
         design = result.design(builder())
         assert design.cell_count == result.cells
         assert design.completion_time == result.completion_time
+
+
+class TestStatsProtocol:
+    """The worker/serial split of the global STATS registry.
+
+    Regression: the serial fallback used to reset the process-wide
+    registry the way a pool worker does, wiping whatever the caller had
+    accumulated before the sweep."""
+
+    def test_serial_sweep_preserves_caller_stats(self, tmp_path):
+        STATS.count("sentinel.before_sweep", 7)
+        try:
+            run_sweep(SMOKE, workers=0, cache_dir=tmp_path,
+                      cross_check=False)
+            assert STATS.counters["sentinel.before_sweep"] == 7
+        finally:
+            STATS.counters.pop("sentinel.before_sweep", None)
+
+    def test_serial_job_reports_own_delta_only(self, tmp_path):
+        job = SMOKE.jobs()[0]
+        STATS.count("sentinel.noise", 3)
+        try:
+            result = _execute_job(job, str(tmp_path), True)
+            assert "sentinel.noise" not in result.stats.get("counters", {})
+            assert result.stats["counters"]      # the job did count things
+        finally:
+            STATS.counters.pop("sentinel.noise", None)
+
+    def test_worker_mode_resets_registry(self, tmp_path):
+        job = SMOKE.jobs()[0]
+        STATS.count("sentinel.parent_only", 5)
+        try:
+            result = _execute_job(job, str(tmp_path), True, in_worker=True)
+            # The worker path starts from a clean registry, so the parent's
+            # sentinel neither leaks into the delta nor survives the reset.
+            assert "sentinel.parent_only" not in result.stats["counters"]
+            assert "sentinel.parent_only" not in STATS.counters
+        finally:
+            STATS.counters.pop("sentinel.parent_only", None)
+
+    def test_worker_ships_span_tree_when_tracing(self, tmp_path):
+        job = SMOKE.jobs()[0]
+        was_enabled = STATS.enabled
+        try:
+            result = _execute_job(job, str(tmp_path), True, tracing=True,
+                                  in_worker=True)
+            shipped = result.stats.get("spans")
+            assert shipped and shipped[0]["name"] == "sweep.job"
+            # Worker hygiene: the shipped tree is discarded locally so a
+            # reused pool process does not accumulate span forests.
+            assert not any(s.name == "sweep.job" for s in STATS.spans())
+        finally:
+            STATS.enabled = was_enabled
+            STATS.reset()
+
+    def test_parallel_sweep_merges_worker_spans(self, tmp_path):
+        was_enabled = STATS.enabled
+        STATS.reset()
+        STATS.enable()
+        try:
+            run_sweep(SMOKE, workers=2, cache_dir=tmp_path,
+                      cross_check=False)
+            names = {s.name for root in STATS.spans()
+                     for s in _walk(root)}
+            assert "sweep.job" in names      # grafted from the workers
+        finally:
+            STATS.enabled = was_enabled
+            STATS.reset()
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
 
 
 class TestSweepSpec:

@@ -1,8 +1,11 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import TRACER, load_run_record, read_jsonl
 
 
 class TestSynthesize:
@@ -101,3 +104,121 @@ class TestCell:
         assert main(["cell", "--n", "7", "--x", "3", "--y", "2"]) == 0
         out = capsys.readouterr().out
         assert "t=" in out or "idle" in out
+
+
+class TestTrace:
+    def test_exports_and_summary(self, tmp_path, capsys):
+        out_base = str(tmp_path / "smoke")
+        assert main(["trace", "--problem", "dp", "--interconnect", "fig1",
+                     "--n", "7", "--out", out_base]) == 0
+        out = capsys.readouterr().out
+        assert "per-cell utilization" in out
+        assert "events:" in out and "fire=" in out
+        jsonl = tmp_path / "smoke.events.jsonl"
+        chrome = tmp_path / "smoke.trace.json"
+        assert jsonl.is_file() and chrome.is_file()
+        events = read_jsonl(jsonl)
+        assert events and {e.kind for e in events} >= {"fire", "hop"}
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"] and doc["displayTimeUnit"] == "ms"
+
+    def test_engines_export_identical_jsonl(self, tmp_path):
+        argv = ["trace", "--problem", "dp", "--interconnect", "fig1",
+                "--n", "6"]
+        assert main(argv + ["--engine", "compiled",
+                            "--out", str(tmp_path / "c")]) == 0
+        assert main(argv + ["--engine", "interpreted",
+                            "--out", str(tmp_path / "i")]) == 0
+        assert (tmp_path / "c.events.jsonl").read_text() \
+            == (tmp_path / "i.events.jsonl").read_text()
+
+    def test_from_record_replay(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics"
+        assert main(["trace", "--problem", "dp", "--interconnect", "fig1",
+                     "--n", "6", "--out", str(tmp_path / "t"),
+                     "--stats", "--metrics-dir", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "run record:" in out
+        records = list(metrics.glob("run-*.json"))
+        assert len(records) == 1
+        assert main(["trace", "--from-record", str(records[0])]) == 0
+        replay = capsys.readouterr().out
+        assert "run record: trace" in replay
+        assert "cycles" in replay            # machine stats replayed
+
+    def test_from_record_bad_file(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="cannot read run record"):
+            main(["trace", "--from-record", str(bad)])
+
+
+class TestStatsAndMetrics:
+    def test_stats_report_is_deterministic_and_sorted(self, capsys):
+        argv = ["synthesize", "--problem", "dp", "--interconnect", "fig1",
+                "--n", "6", "--stats"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+
+        def stat_names(text):
+            lines = text.split("instrumentation:\n", 1)[1].splitlines()
+            counters, timers = [], []
+            for line in lines:
+                if not line.startswith("  ") or line.startswith("  ("):
+                    break
+                parts = line.split()
+                (timers if parts[-1] == "ms" else counters).append(parts[0])
+            return counters, timers
+
+        counters, timers = stat_names(first)
+        assert counters and timers
+        assert counters == sorted(counters)            # key-sorted sections
+        assert timers == sorted(timers)
+        assert stat_names(second) == (counters, timers)  # run-to-run stable
+
+    def test_stats_shows_span_tree(self, capsys):
+        assert main(["synthesize", "--problem", "dp",
+                     "--interconnect", "fig1", "--n", "6", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+
+    def test_tracer_disabled_after_run(self, capsys):
+        assert main(["synthesize", "--problem", "dp",
+                     "--interconnect", "fig1", "--n", "6", "--stats"]) == 0
+        capsys.readouterr()
+        assert not TRACER.enabled
+
+    def test_sweep_json_round_trips_stats(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert main(["sweep", "--problems", "dp", "--interconnects", "fig1",
+                     "--n", "6", "--workers", "0",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", str(path), "--stats"]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["results"]
+
+    def test_metrics_dir_writes_record(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics"
+        assert main(["synthesize", "--problem", "dp",
+                     "--interconnect", "fig1", "--n", "6", "--verify",
+                     "--metrics-dir", str(metrics)]) == 0
+        capsys.readouterr()
+        records = list(metrics.glob("run-*.json"))
+        assert len(records) == 1
+        record = load_run_record(records[0])
+        assert record.command == "synthesize"
+        assert record.machine_stats and record.machine_stats["cycles"] > 0
+        assert record.stats["counters"]
+        assert record.spans                  # tree captured for the record
+
+    def test_metrics_env_var_honoured(self, tmp_path, capsys, monkeypatch):
+        metrics = tmp_path / "env-metrics"
+        monkeypatch.setenv("REPRO_METRICS_DIR", str(metrics))
+        assert main(["synthesize", "--problem", "dp",
+                     "--interconnect", "fig1", "--n", "6"]) == 0
+        capsys.readouterr()
+        assert len(list(metrics.glob("run-*.json"))) == 1
