@@ -27,7 +27,9 @@ from pathlib import Path
 #: better for every gated metric (they are all wall-clock timings).
 GATES = {
     "machine_compiled": ("compiled_ms", 2.0),
+    "machine_vector": ("vector_ms", 2.0),
     "sweep_cache": ("warm_s", 2.0),
+    "vector_batch": ("batched_ms", 2.0),
 }
 
 #: Keys that never participate in workload-context matching.

@@ -1,0 +1,129 @@
+"""Benchmark VII — the vector (level-grouped ndarray kernel) engine.
+
+The compiled engine (Benchmark VI) removed the microcode interpreter from
+the verification loop but still executes the lowered operation table one
+node per Python iteration.  The vector engine partitions that table into
+Kahn-frontier levels, groups each level by opcode and runs each group as
+one gather → ufunc → scatter over a dense value matrix — and stacks a
+whole batch of input seeds on the leading axis, so S-seed verification
+costs roughly one kernel pass instead of S executions.
+
+This file pins three claims:
+
+* **bit-identity** — on the Figure 1 DP workload the vector engine's
+  machine run equals the interpreted oracle exactly (values, results,
+  stats), and ``verify_design`` reports identically through all engines;
+* **single-run speed** — end-to-end ``verify_design`` through the vector
+  engine is at least 5x faster than through the interpreted engine at
+  n = 18 (warm artifact cache, the sweep steady state);
+* **batch speed** — one batched ``verify_design(..., seeds=range(8))``
+  is at least 3x faster than the same eight seeds verified one at a time
+  through the (already fast, warm) vector engine.
+
+``REPRO_BENCH_N`` overrides the problem size (CI smoke uses a small n).
+"""
+
+import os
+import random
+import time
+
+from conftest import machine_run, record_pin
+from repro.arrays import FIG1_UNIDIRECTIONAL
+from repro.core import synthesize
+from repro.core.verify import verify_design
+from repro.problems import dp_inputs, dp_system
+
+N = int(os.environ.get("REPRO_BENCH_N", "18"))
+PARAMS = {"n": N}
+SEEDS = 8
+
+
+def _workload():
+    system = dp_system()
+    design = synthesize(system, PARAMS, FIG1_UNIDIRECTIONAL)
+    rng = random.Random(1986)
+    inputs = dp_inputs([rng.randint(1, 40) for _ in range(N - 1)])
+    return system, design, inputs
+
+
+def _factory(seed):
+    rng = random.Random(seed)
+    return dp_inputs([rng.randint(1, 40) for _ in range(N - 1)])
+
+
+def _median_seconds(fn, repeats=5):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_bit_identical_machine_run():
+    system, design, inputs = _workload()
+    interp, _ = machine_run(system, PARAMS, design, inputs,
+                            engine="interpreted")
+    vec, _ = machine_run(system, PARAMS, design, inputs, engine="vector")
+    assert vec.values == interp.values
+    assert vec.results == interp.results
+    assert vec.stats == interp.stats
+
+
+def test_verify_reports_identical():
+    _, design, inputs = _workload()
+    oracle = verify_design(design, inputs, engine="interpreted")
+    fast = verify_design(design, inputs, engine="vector")
+    assert oracle.ok and fast.ok
+    assert fast.failures == oracle.failures
+    assert fast.machine_stats == oracle.machine_stats
+
+
+def test_vector_verify_speedup(benchmark):
+    """>= 5x end-to-end verify_design speedup at n = 18 on Figure 1 DP."""
+    _, design, inputs = _workload()
+    verify_design(design, inputs, engine="vector")    # warm artifact cache
+
+    fast = _median_seconds(
+        lambda: verify_design(design, inputs, engine="vector"))
+    slow = _median_seconds(
+        lambda: verify_design(design, inputs, engine="interpreted"))
+    speedup = slow / fast
+    print(f"\nn={N}: interpreted {slow * 1e3:.1f} ms, "
+          f"vector {fast * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    record_pin("machine_vector", n=N,
+               interpreted_ms=round(slow * 1e3, 3),
+               vector_ms=round(fast * 1e3, 3),
+               speedup=round(speedup, 2))
+    assert speedup >= 5.0
+    benchmark(lambda: verify_design(design, inputs, engine="vector"))
+
+
+def test_batched_verify_speedup(benchmark):
+    """>= 3x for one batched S=8 pass over eight warm single-seed runs."""
+    _, design, _ = _workload()
+    seeds = range(SEEDS)
+    batched_report = verify_design(design, _factory, engine="vector",
+                                   seeds=seeds)     # also warms the cache
+    assert batched_report.ok and batched_report.seeds_checked == SEEDS
+
+    batched = _median_seconds(
+        lambda: verify_design(design, _factory, engine="vector",
+                              seeds=seeds))
+
+    def looped():
+        for s in seeds:
+            verify_design(design, _factory(s), engine="vector")
+
+    loop = _median_seconds(looped)
+    speedup = loop / batched
+    print(f"\nn={N}, seeds={SEEDS}: looped {loop * 1e3:.1f} ms, "
+          f"batched {batched * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    record_pin("vector_batch", n=N, seeds=SEEDS,
+               looped_ms=round(loop * 1e3, 3),
+               batched_ms=round(batched * 1e3, 3),
+               speedup=round(speedup, 2))
+    assert speedup >= 3.0
+    benchmark(lambda: verify_design(design, _factory, engine="vector",
+                                    seeds=seeds))

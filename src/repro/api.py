@@ -15,8 +15,11 @@ without breaking users::
 Surface groups:
 
 * single-shot synthesis — :func:`synthesize`, :func:`explore_uniform`,
-  :func:`explore_interconnects`, :func:`verify_design`,
-  :class:`SynthesisOptions`, :class:`Design`;
+  :func:`explore_interconnects`, :func:`verify_design` (single input
+  binding or multi-seed batch; engines ``"compiled"``, ``"interpreted"``,
+  ``"vector"`` — see :data:`ENGINES`), :class:`SynthesisOptions`,
+  :class:`Design`, :func:`random_inputs` / :func:`input_factory` for
+  seeded problem instances;
 * batch sweeps — :class:`SweepSpec`, :func:`run_sweep`,
   :class:`SweepReport`, :data:`PROBLEM_BUILDERS`;
 * persistent cache — :class:`DesignCache`, :func:`cache_key`,
@@ -65,8 +68,9 @@ from repro.core.explore import (
 )
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
-from repro.core.verify import VerificationReport, verify_design
+from repro.core.verify import ENGINES, VerificationReport, verify_design
 from repro.machine.analysis import CellUtilization, cell_utilization
+from repro.problems import input_factory, random_inputs
 from repro.obs import (
     METRICS_ENV_VAR,
     TRACER,
@@ -84,6 +88,7 @@ __all__ = [
     "CellUtilization",
     "Design",
     "DesignCache",
+    "ENGINES",
     "EventLog",
     "EventSink",
     "ExploredDesign",
@@ -110,9 +115,11 @@ __all__ = [
     "default_workers",
     "explore_interconnects",
     "explore_uniform",
+    "input_factory",
     "load_run_record",
     "metrics_dir",
     "pareto_front",
+    "random_inputs",
     "resolve_interconnect",
     "run_sweep",
     "synthesize",

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 import time
 from dataclasses import asdict
@@ -43,11 +42,10 @@ from repro.problems import (
     classify_design,
     convolution_backward,
     convolution_forward,
-    convolution_inputs,
-    dp_inputs,
     dp_system,
-    matmul_inputs,
+    input_factory,
     matmul_system,
+    random_inputs,
 )
 from repro.ir import trace_execution
 from repro.machine import cell_utilization, compile_design, run
@@ -92,24 +90,10 @@ def _interconnect(name: str):
 
 
 def _random_inputs(problem: str, params, seed: int = 0):
-    rng = random.Random(seed)
-    if problem == "dp":
-        return dp_inputs([rng.randint(1, 9)
-                          for _ in range(params["n"] - 1)])
-    if problem.startswith("conv"):
-        x = [rng.randint(-9, 9) for _ in range(params["n"])]
-        w = [rng.randint(-3, 3) for _ in range(params["s"])]
-        return convolution_inputs(x, w)
-    if problem == "matmul":
-        n = params["n"]
-        import numpy as np
-
-        A = np.array([[rng.randint(-5, 5) for _ in range(n)]
-                      for _ in range(n)])
-        B = np.array([[rng.randint(-5, 5) for _ in range(n)]
-                      for _ in range(n)])
-        return matmul_inputs(A, B)
-    raise SystemExit(f"no random inputs for {problem!r}")
+    try:
+        return random_inputs(problem, params, seed)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
 
 
 def _csv(text: str) -> list[str]:
@@ -130,11 +114,20 @@ def cmd_synthesize(args) -> int:
     print()
     print(render_array(design))
     if args.verify:
-        report = verify_design(
-            design, _random_inputs(args.problem, params, args.seed),
-            engine=options.engine)
-        print(f"\nverification: {report}  (seed={args.seed}, "
-              f"engine={options.engine})")
+        if args.seeds > 1:
+            report = verify_design(
+                design, input_factory(args.problem, params),
+                engine=options.engine,
+                seeds=range(args.seed, args.seed + args.seeds))
+            print(f"\nverification: {report}  "
+                  f"(seeds={args.seed}..{args.seed + args.seeds - 1}, "
+                  f"engine={options.engine})")
+        else:
+            report = verify_design(
+                design, _random_inputs(args.problem, params, args.seed),
+                engine=options.engine)
+            print(f"\nverification: {report}  (seed={args.seed}, "
+                  f"engine={options.engine})")
         if report.machine_stats:
             s = report.machine_stats
             RUN_EXTRA["machine_stats"] = asdict(s)
@@ -181,9 +174,11 @@ def cmd_sweep(args) -> int:
                          "and parameter value")
     grid = tuple({"n": n, "s": s} for n in ns for s in ss)
     options = SynthesisOptions(time_bound=args.time_bound,
-                               space_bound=args.space_bound)
+                               space_bound=args.space_bound,
+                               engine=args.engine)
     spec = SweepSpec(problems=tuple(problems), interconnects=interconnects,
-                     param_grid=grid, options=options)
+                     param_grid=grid, options=options,
+                     verify_seeds=args.verify_seeds)
     report = run_sweep(
         spec,
         workers=0 if args.serial else args.workers,
@@ -312,11 +307,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the design on the systolic machine")
     p.add_argument("--seed", type=int, default=0,
                    help="RNG seed for the random verification inputs")
-    p.add_argument("--engine", choices=["compiled", "interpreted"],
+    p.add_argument("--seeds", type=int, default=1, metavar="S",
+                   help="verify S seeded random instances (seed..seed+S-1); "
+                        "with --engine vector all S run in one batched "
+                        "kernel pass")
+    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
                    default="compiled",
                    help="machine execution engine for --verify: 'compiled' "
                         "lowers microcode to integer-indexed form (fast), "
-                        "'interpreted' is the cycle-by-cycle oracle")
+                        "'interpreted' is the cycle-by-cycle oracle, "
+                        "'vector' runs level-grouped ndarray kernels "
+                        "(fastest; batches --seeds into one pass)")
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("explore", help="enumerate convolution designs",
@@ -354,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cross-check", action="store_true",
                    help="skip re-synthesizing one cached entry as a "
                         "consistency check")
+    p.add_argument("--verify-seeds", type=int, default=0, metavar="S",
+                   help="verify every solved design on S seeded random "
+                        "instances (0 = skip)")
+    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
+                   default="vector",
+                   help="execution engine for --verify-seeds; 'vector' "
+                        "checks all seeds in one batched kernel pass")
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write the full sweep report as JSON")
     p.set_defaults(fn=cmd_sweep)
@@ -368,9 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=4)
     p.add_argument("--seed", type=int, default=0,
                    help="RNG seed for the machine's host inputs")
-    p.add_argument("--engine", choices=["compiled", "interpreted"],
+    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
                    default="compiled",
-                   help="execution engine emitting the events (both "
+                   help="execution engine emitting the events (all three "
                         "produce the identical stream)")
     p.add_argument("--out", default=None, metavar="PREFIX",
                    help="output prefix (default: trace-<problem>-n<n>)")

@@ -45,11 +45,13 @@ from repro.core.design import Design
 from repro.core.globals import link_constraints
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
+from repro.core.verify import verify_design
 from repro.ir.program import RecurrenceSystem
 from repro.problems import (
     convolution_backward,
     convolution_forward,
     dp_system,
+    input_factory,
     matmul_system,
 )
 from repro.util.errors import SynthesisError
@@ -89,6 +91,7 @@ class SweepJob:
     params: tuple[tuple[str, int], ...]          # sorted, hashable
     interconnect: Interconnect
     options: SynthesisOptions = SynthesisOptions()
+    verify_seeds: int = 0
 
     @property
     def params_dict(self) -> dict[str, int]:
@@ -106,12 +109,18 @@ class SweepSpec:
     ``param_grid`` entries may carry parameters a problem does not use
     (e.g. ``s`` for ``dp``); each job keeps only the parameters its problem
     needs, and jobs that collapse to the same binding are deduplicated.
+
+    ``verify_seeds > 0`` makes every solved design (fresh or cached) run
+    through :func:`~repro.core.verify.verify_design` with that many seeded
+    random instances; ``options.engine`` picks the execution backend —
+    ``"vector"`` checks all seeds in one batched kernel pass.
     """
 
     problems: tuple[str, ...]
     interconnects: tuple["str | Interconnect", ...]
     param_grid: tuple[Mapping[str, int], ...]
     options: SynthesisOptions = SynthesisOptions()
+    verify_seeds: int = 0
 
     def jobs(self) -> list[SweepJob]:
         out: list[SweepJob] = []
@@ -133,7 +142,7 @@ class SweepSpec:
                         continue
                     seen.add(sig)
                     out.append(SweepJob(prob, builder, params, icobj,
-                                        self.options))
+                                        self.options, self.verify_seeds))
         return out
 
 
@@ -156,6 +165,15 @@ class SweepResult:
     error_module: str | None = None
     stats: dict = field(default_factory=dict)
     design_payload: dict | None = None
+    verify_seeds: int = 0               # seeds cross-checked (0 = not asked)
+    verify_failures: list[str] = field(default_factory=list)
+
+    @property
+    def verified(self) -> "bool | None":
+        """``True``/``False`` once verification ran, ``None`` otherwise."""
+        if self.verify_seeds == 0:
+            return None
+        return not self.verify_failures
 
     def label(self) -> str:
         p = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
@@ -185,6 +203,8 @@ class SweepResult:
             "error": self.error,
             "error_module": self.error_module,
             "design": self.design_payload,
+            "verify_seeds": self.verify_seeds,
+            "verify_failures": list(self.verify_failures),
         }
 
     def _sort_key(self) -> tuple:
@@ -237,6 +257,12 @@ class SweepReport:
             f"in {self.wall_time:.2f}s with {self.workers} worker(s)",
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses",
         ]
+        verified = [r for r in self.results if r.verify_seeds]
+        if verified:
+            bad = [r for r in verified if not r.verified]
+            total = sum(r.verify_seeds for r in verified)
+            lines.append(f"verify: {len(verified)} design(s), "
+                         f"{total} seeded runs, {len(bad)} failure(s)")
         if self.cross_check is not None:
             lines.append(f"cross-check: {self.cross_check}")
         return "\n".join(lines)
@@ -306,6 +332,8 @@ def _execute_job(job: SweepJob, cache_root: "str | None",
             completion_time=design.completion_time,
             wall_time=wall, solve_time=wall, stats=delta,
             design_payload=design.to_dict())
+        if job.verify_seeds > 0:
+            _verify_result(job, design, result)
         if use_cache:
             DesignCache(cache_root).put(key, design, solve_time=wall)
     else:
@@ -324,6 +352,24 @@ def _execute_job(job: SweepJob, cache_root: "str | None",
                 "solve_time": wall,
             })
     return result
+
+
+def _verify_result(job: SweepJob, design: Design,
+                   result: SweepResult) -> None:
+    """Cross-check a solved design on ``job.verify_seeds`` seeded random
+    instances (the vector engine batches them into one kernel pass)."""
+    try:
+        factory = input_factory(job.problem, job.params_dict)
+        with STATS.stage("sweep.verify"):
+            report = verify_design(design, factory,
+                                   engine=job.options.engine,
+                                   seeds=range(job.verify_seeds))
+        result.verify_seeds = report.seeds_checked
+        result.verify_failures = list(report.failures)
+    except KeyError:
+        # Problems without a random-instance generator stay unverified.
+        result.verify_seeds = 0
+    STATS.count("sweep.verified_seeds", result.verify_seeds)
 
 
 def _result_from_payload(job: SweepJob, key: str,
@@ -413,8 +459,11 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
                 pending.append(job)
             else:
                 hits += 1
-                results.append(_result_from_payload(
-                    job, key, payload, time.perf_counter() - p0))
+                result = _result_from_payload(
+                    job, key, payload, time.perf_counter() - p0)
+                if job.verify_seeds > 0 and result.ok:
+                    _verify_result(job, result.design(job.builder()), result)
+                results.append(result)
 
     with STATS.stage("sweep.solve"):
         if not pending:

@@ -33,7 +33,9 @@ class SynthesisOptions:
     (verification, sweep cross-checks) use to run the design's machine:
     ``"compiled"`` lowers microcode to integer-indexed form once and caches
     the artifacts on the design; ``"interpreted"`` is the cycle-by-cycle
-    oracle.  It does not influence *which* design is synthesized, so it is
+    oracle; ``"vector"`` executes the lowered table as level-grouped
+    ndarray kernels (and batches multi-seed verification into one pass).
+    It does not influence *which* design is synthesized, so it is
     deliberately **not** part of :meth:`to_dict` (and therefore not part of
     the design-cache key).
     """
@@ -54,10 +56,10 @@ class SynthesisOptions:
             raise ValueError(
                 f"bounds out of range: time_bound={self.time_bound}, "
                 f"space_bound={self.space_bound}")
-        if self.engine not in ("compiled", "interpreted"):
+        if self.engine not in ("compiled", "interpreted", "vector"):
             raise ValueError(
                 f"unknown engine {self.engine!r} "
-                "(expected 'compiled' or 'interpreted')")
+                "(expected 'compiled', 'interpreted' or 'vector')")
 
     def to_dict(self) -> dict:
         """JSON-safe canonical form (part of the design-cache key).

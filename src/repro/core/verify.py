@@ -17,7 +17,9 @@ everything from the system and the (T, S) assignments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Mapping
+
+import numpy as np
 
 from repro.core.design import Design
 from repro.deps.extract import system_dependence_matrices
@@ -26,11 +28,16 @@ from repro.ir.evaluate import (
     execute_plan,
     trace_execution,
 )
+from repro.ir.vector import execute_program, lower_plan
 from repro.machine.compiled import lower
+from repro.machine.errors import CapacityError
 from repro.machine.microcode import compile_design
 from repro.machine.simulator import MachineStats, run
+from repro.machine.vector import vectorize
 from repro.space.allocation import conflict_free, flows_realisable
 from repro.util.instrument import STATS
+
+ENGINES = ("compiled", "interpreted", "vector")
 
 
 @dataclass
@@ -44,6 +51,7 @@ class VerificationReport:
     machine_matches_reference: bool = True
     failures: list[str] = field(default_factory=list)
     machine_stats: MachineStats | None = None
+    seeds_checked: int = 1
 
     @property
     def ok(self) -> bool:
@@ -94,9 +102,123 @@ def _annotate_machine(stats: MachineStats) -> None:
                    utilization=round(stats.utilization, 3))
 
 
-def verify_design(design: Design, inputs: Mapping[str, Callable],
+def _check_results(report: VerificationReport, machine_results: Mapping,
+                   reference_results: Mapping, prefix: str) -> None:
+    if machine_results != reference_results:
+        report.machine_matches_reference = False
+        diffs = [k for k in reference_results
+                 if machine_results.get(k) != reference_results[k]]
+        report.failures.append(
+            f"{prefix}machine results differ from reference at {diffs[:5]}")
+
+
+def _verify_looped(design: Design, report: VerificationReport, decomposer,
+                   cache, input_sets, prefixes, strict_capacity: bool,
+                   engine: str) -> None:
+    """One reference + machine value pass per input set (the compiled and
+    interpreted engines)."""
+    for prefix, inputs in zip(prefixes, input_sets):
+        with STATS.stage("verify.reference"):
+            if cache is not None:
+                plan = cache.get("plan")
+                if plan is None:
+                    plan = cache["plan"] = build_execution_plan(
+                        design.system, design.params)
+                trace = execute_plan(plan, inputs)
+            else:
+                trace = trace_execution(design.system, design.params, inputs)
+        try:
+            if cache is not None:
+                with STATS.stage("verify.compile"):
+                    lowered = cache.get("machine")
+                    if lowered is None:
+                        mc = compile_design(trace, design.schedules,
+                                            design.space_maps, decomposer)
+                        lowered = cache["machine"] = lower(mc, trace)
+                with STATS.stage("verify.machine"):
+                    machine = lowered.execute(inputs, strict=strict_capacity)
+                    _annotate_machine(machine.stats)
+            else:
+                with STATS.stage("verify.compile"):
+                    mc = compile_design(trace, design.schedules,
+                                        design.space_maps, decomposer)
+                with STATS.stage("verify.machine"):
+                    machine = run(mc, trace, inputs, strict=strict_capacity,
+                                  engine=engine)
+                    _annotate_machine(machine.stats)
+        except Exception as exc:  # machine errors are design failures
+            report.machine_matches_reference = False
+            report.failures.append(
+                f"{prefix}machine: {type(exc).__name__}: {exc}")
+            return
+        if report.machine_stats is None:
+            report.machine_stats = machine.stats
+        _check_results(report, machine.results, trace.results, prefix)
+
+
+def _verify_vector(design: Design, report: VerificationReport, decomposer,
+                   cache, input_sets, prefixes,
+                   strict_capacity: bool) -> None:
+    """All input sets through one batched kernel pass, reference and
+    machine alike; per-seed mismatches are reported with their prefix.
+
+    Only the output columns are compared — no per-seed trace or result
+    dict is materialized, so the whole batch costs two kernel passes plus
+    one array comparison."""
+    if not input_sets:
+        return
+    with STATS.stage("verify.reference"):
+        plan = cache.get("plan")
+        if plan is None:
+            plan = cache["plan"] = build_execution_plan(
+                design.system, design.params)
+        vplan = cache.get("vplan")
+        if vplan is None:
+            vplan = cache["vplan"] = lower_plan(plan)
+        ref_matrix = execute_program(vplan, input_sets)
+    try:
+        with STATS.stage("verify.compile"):
+            vmachine = cache.get("vmachine")
+            if vmachine is None:
+                lowered = cache.get("machine")
+                if lowered is None:
+                    trace = execute_plan(plan, input_sets[0])
+                    mc = compile_design(trace, design.schedules,
+                                        design.space_maps, decomposer)
+                    lowered = cache["machine"] = lower(mc, trace)
+                vmachine = cache["vmachine"] = vectorize(lowered)
+        with STATS.stage("verify.machine"):
+            compiled = vmachine.compiled
+            if strict_capacity and compiled.strict_error is not None:
+                raise CapacityError(compiled.strict_error)
+            mach_matrix = vmachine.execute_batch(input_sets)
+            stats = compiled.copy_stats()
+            _annotate_machine(stats)
+    except Exception as exc:  # machine errors are design failures
+        report.machine_matches_reference = False
+        report.failures.append(
+            f"{prefixes[0]}machine: {type(exc).__name__}: {exc}")
+        return
+    report.machine_stats = stats
+    mach_by_key = dict(compiled.outputs)
+    pairs = [(host_key, nid, mach_by_key[host_key])
+             for host_key, nid in plan.outputs]
+    eq = (ref_matrix[:, [nid for _, nid, _ in pairs]]
+          == mach_matrix[:, [vid for _, _, vid in pairs]])
+    for s, prefix in enumerate(prefixes):
+        if bool(np.all(eq[s])):
+            continue
+        report.machine_matches_reference = False
+        diffs = [host_key
+                 for (host_key, _, _), ok in zip(pairs, eq[s]) if not ok]
+        report.failures.append(
+            f"{prefix}machine results differ from reference at {diffs[:5]}")
+
+
+def verify_design(design: Design, inputs,
                   strict_capacity: bool = True,
-                  engine: str = "compiled") -> VerificationReport:
+                  engine: str = "compiled",
+                  seeds=None) -> VerificationReport:
     """Run all symbolic and physical checks; never raises on a *design*
     failure (the report carries it), only on infrastructure errors.
 
@@ -107,14 +229,25 @@ def verify_design(design: Design, inputs: Mapping[str, Callable],
     the design, so repeated verification — sweeps cross-checking many input
     seeds — only redoes the value passes.  ``engine="interpreted"`` is the
     from-scratch oracle: recursive-free reference evaluation plus the
-    cycle-by-cycle simulator, nothing cached.
+    cycle-by-cycle simulator, nothing cached.  ``engine="vector"``
+    additionally lowers the cached plan and machine table to level-grouped
+    ndarray kernels (:mod:`repro.ir.vector`), so each value pass is a
+    handful of array operations instead of one Python iteration per node.
+
+    ``seeds`` turns one verification into a multi-seed cross-check: pass a
+    sequence of seeds and make ``inputs`` a factory ``seed -> input
+    mapping``.  Every seed's machine results are compared to its own
+    reference run; failures are prefixed with the offending seed.  The
+    vector engine runs *all* seeds through a single batched kernel pass on
+    ``(seeds, nodes)`` arrays — multi-seed verification at roughly the cost
+    of one execution; the other engines loop.
     """
-    if engine not in ("compiled", "interpreted"):
+    if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} "
-                         "(expected 'compiled' or 'interpreted')")
+                         "(expected 'compiled', 'interpreted' or 'vector')")
     report = VerificationReport()
     decomposer = design.interconnect.decomposer()
-    cache = design._exec_cache if engine == "compiled" else None
+    cache = design._exec_cache if engine != "interpreted" else None
 
     with STATS.stage("verify.symbolic"):
         if cache is not None and "symbolic" in cache:
@@ -131,43 +264,23 @@ def verify_design(design: Design, inputs: Mapping[str, Callable],
                     list(report.failures))
 
     # Physical execution against the reference evaluator.
-    with STATS.stage("verify.reference"):
-        if cache is not None:
-            plan = cache.get("plan")
-            if plan is None:
-                plan = cache["plan"] = build_execution_plan(
-                    design.system, design.params)
-            trace = execute_plan(plan, inputs)
-        else:
-            trace = trace_execution(design.system, design.params, inputs)
-    try:
-        if cache is not None:
-            with STATS.stage("verify.compile"):
-                lowered = cache.get("machine")
-                if lowered is None:
-                    mc = compile_design(trace, design.schedules,
-                                        design.space_maps, decomposer)
-                    lowered = cache["machine"] = lower(mc, trace)
-            with STATS.stage("verify.machine"):
-                machine = lowered.execute(inputs, strict=strict_capacity)
-                _annotate_machine(machine.stats)
-        else:
-            with STATS.stage("verify.compile"):
-                mc = compile_design(trace, design.schedules,
-                                    design.space_maps, decomposer)
-            with STATS.stage("verify.machine"):
-                machine = run(mc, trace, inputs, strict=strict_capacity,
-                              engine=engine)
-                _annotate_machine(machine.stats)
-    except Exception as exc:  # machine errors are design failures
-        report.machine_matches_reference = False
-        report.failures.append(f"machine: {type(exc).__name__}: {exc}")
-        return report
-    report.machine_stats = machine.stats
-    if machine.results != trace.results:
-        report.machine_matches_reference = False
-        diffs = [k for k in trace.results
-                 if machine.results.get(k) != trace.results[k]]
-        report.failures.append(
-            f"machine results differ from reference at {diffs[:5]}")
+    if seeds is None:
+        input_sets = [inputs]
+        prefixes = [""]
+    else:
+        if not callable(inputs):
+            raise TypeError(
+                "with seeds=..., 'inputs' must be a factory callable "
+                "mapping a seed to an input binding")
+        seeds = list(seeds)
+        input_sets = [inputs(s) for s in seeds]
+        prefixes = [f"seed {s}: " for s in seeds]
+        report.seeds_checked = len(seeds)
+
+    if engine == "vector":
+        _verify_vector(design, report, decomposer, cache, input_sets,
+                       prefixes, strict_capacity)
+    else:
+        _verify_looped(design, report, decomposer, cache, input_sets,
+                       prefixes, strict_capacity, engine)
     return report

@@ -11,10 +11,19 @@ from repro.ir.affine import AffineExpr, QuasiAffineExpr, const, var, vars_
 from repro.ir.evaluate import (
     CyclicDependence,
     Event,
+    ExecutionPlan,
     SystemTrace,
     ValueKey,
+    build_execution_plan,
+    execute_plan,
     run_system,
     trace_execution,
+)
+from repro.ir.vector import (
+    VectorProgram,
+    execute_plan_batch,
+    execute_plan_vector,
+    lower_plan,
 )
 from repro.ir.indexset import Polyhedron, eq, ge, gt, le, lt
 from repro.ir.ops import ADD, IDENTITY, MAC, MAX, MIN, MIN_PLUS, MUL, Op, make_op
@@ -43,11 +52,12 @@ from repro.ir.variables import ArrayVar, ExternalRef, Ref
 __all__ = [
     "ADD", "IDENTITY", "MAC", "MAX", "MIN", "MIN_PLUS", "MUL",
     "AffineExpr", "ArgSpec", "ArrayVar", "ComputeRule", "CyclicDependence",
-    "Equation", "Event", "ExternalRef", "HighLevelSpec", "InputRule",
-    "LinkRule", "Module", "Op", "OutputSpec", "Polyhedron", "Predicate",
-    "QuasiAffineExpr", "Ref", "RecurrenceSystem", "SystemTrace", "TRUE",
-    "ValidationError", "ValueKey", "at_least", "at_most", "check_canonic",
-    "check_system", "const", "eq", "equals", "even", "ge", "greater", "gt",
-    "le", "less", "lt", "make_op", "odd", "run_system", "trace_execution",
-    "var", "vars_",
+    "Equation", "Event", "ExecutionPlan", "ExternalRef", "HighLevelSpec",
+    "InputRule", "LinkRule", "Module", "Op", "OutputSpec", "Polyhedron",
+    "Predicate", "QuasiAffineExpr", "Ref", "RecurrenceSystem", "SystemTrace",
+    "TRUE", "ValidationError", "ValueKey", "VectorProgram", "at_least",
+    "at_most", "build_execution_plan", "check_canonic", "check_system",
+    "const", "eq", "equals", "even", "execute_plan", "execute_plan_batch",
+    "execute_plan_vector", "ge", "greater", "gt", "le", "less", "lower_plan",
+    "lt", "make_op", "odd", "run_system", "trace_execution", "var", "vars_",
 ]

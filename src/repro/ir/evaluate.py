@@ -31,7 +31,7 @@ systems raise :class:`CyclicDependence`, uncovered guards raise
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import numpy as np
@@ -63,20 +63,55 @@ class Event:
     value: object
 
 
-@dataclass
 class SystemTrace:
     """Full record of a system execution.
 
     ``events`` maps every produced value to its :class:`Event`;
     ``results`` maps host output keys to final values;
     ``domains`` caches the enumerated domain of each module.
+
+    Event materialization is *lazy*: :func:`execute_plan` parks the raw
+    value buffer on the trace and the per-value :class:`Event` objects are
+    only built when ``events`` is first read.  Verification value-passes and
+    sweeps, which consume only ``results``, never pay for them; consumers of
+    the dependence record (microcode compilation, the dependence graph) see
+    exactly the dict the eager evaluator used to build.
     """
 
-    system: RecurrenceSystem
-    params: dict[str, int]
-    events: dict[ValueKey, Event] = field(default_factory=dict)
-    results: dict[tuple[int, ...], object] = field(default_factory=dict)
-    domains: dict[str, list[tuple[int, ...]]] = field(default_factory=dict)
+    def __init__(self, system: RecurrenceSystem, params: dict[str, int],
+                 events: "dict[ValueKey, Event] | None" = None,
+                 results: "dict[tuple[int, ...], object] | None" = None,
+                 domains: "dict[str, list[tuple[int, ...]]] | None" = None):
+        self.system = system
+        self.params = params
+        self.results: dict[tuple[int, ...], object] = (
+            results if results is not None else {})
+        self.domains: dict[str, list[tuple[int, ...]]] = (
+            domains if domains is not None else {})
+        self._events: dict[ValueKey, Event] = (
+            events if events is not None else {})
+        #: deferred event source: ``(plan, values)`` — consumed on first
+        #: ``events`` access.
+        self._pending: "tuple[ExecutionPlan, list[object]] | None" = None
+
+    @property
+    def events(self) -> "dict[ValueKey, Event]":
+        if self._pending is not None:
+            plan, values = self._pending
+            self._pending = None
+            events = self._events
+            keys, rules = plan.keys, plan.rules
+            operand_keys = plan.operand_keys
+            for nid in plan.order:
+                key = keys[nid]
+                events[key] = Event(key, rules[nid], operand_keys[nid],
+                                    values[nid])
+        return self._events
+
+    @events.setter
+    def events(self, value: "dict[ValueKey, Event]") -> None:
+        self._events = value
+        self._pending = None
 
     def value(self, key: ValueKey) -> object:
         return self.events[key].value
@@ -331,12 +366,7 @@ def execute_plan(plan: ExecutionPlan,
         else:  # InputRule
             name, idx = input_calls[nid]
             values[nid] = inputs[name](*idx)
-    keys = plan.keys
-    events = trace.events
-    operand_keys = plan.operand_keys
-    for nid in plan.order:
-        key = keys[nid]
-        events[key] = Event(key, rules[nid], operand_keys[nid], values[nid])
+    trace._pending = (plan, values)
     for host_key, nid in plan.outputs:
         trace.results[host_key] = values[nid]
     return trace

@@ -18,11 +18,17 @@ class Op:
     """A named k-ary operation with executable semantics.
 
     ``fn`` receives the operand values in the order the equation lists them.
+    ``int_kernel``, when present, is an *exact* int64 array kernel for the
+    vector engine (:mod:`repro.ir.vector`): it must either return values
+    identical to mapping ``fn`` element-wise or raise
+    ``IntegerFallback``/``OverflowError`` — never silently wrap.
     """
 
     name: str
     arity: int
     fn: Callable = field(compare=False, hash=False)
+    int_kernel: Callable | None = field(
+        default=None, compare=False, hash=False)
 
     def __call__(self, *args):
         if len(args) != self.arity:
@@ -52,7 +58,10 @@ MIN_PLUS = Op("min_plus", 2, lambda a, b: a + b)
 optimal parenthesization / shortest path; combined with :data:`MIN` as ``h``."""
 
 
-def make_op(name: str, arity: int, fn: Callable) -> Op:
+def make_op(name: str, arity: int, fn: Callable,
+            int_kernel: Callable | None = None) -> Op:
     """Create a custom operation (e.g. a parenthesization body that also
-    tracks the split position)."""
-    return Op(name, arity, fn)
+    tracks the split position).  ``int_kernel`` optionally supplies an
+    exact int64 array kernel so the vector engine's fast path applies
+    (see :func:`repro.ir.vector.fused_int_kernel` for composing one)."""
+    return Op(name, arity, fn, int_kernel)

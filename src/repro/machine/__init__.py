@@ -22,6 +22,7 @@ from repro.machine.errors import (
 from repro.machine.compiled import CompiledMachine, lower, run_compiled
 from repro.machine.microcode import Hop, Injection, Microcode, Operation, compile_design
 from repro.machine.simulator import MachineRun, MachineStats, run
+from repro.machine.vector import VectorMachine, lower_vector, run_vector, vectorize
 
 __all__ = [
     "CapacityError",
@@ -44,8 +45,12 @@ __all__ = [
     "Microcode",
     "MissingOperandError",
     "Operation",
+    "VectorMachine",
     "compile_design",
     "lower",
+    "lower_vector",
     "run",
     "run_compiled",
+    "run_vector",
+    "vectorize",
 ]

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -70,37 +70,24 @@ class CompiledMachine:
     #: was lowered with ``record_events=True``; value-independent, so one
     #: lowering serves every execution
     events: "list[MachineEvent] | None" = None
+    #: ``keys[vid]`` for every produced id, aligned with ``produced`` — the
+    #: per-execution ``values`` dict zips these instead of re-indexing
+    produced_keys: "list[ValueKey] | None" = None
 
-    def execute(self, inputs: Mapping[str, Callable],
-                strict: bool = True,
-                sink: "EventSink | None" = None) -> MachineRun:
-        """Run the lowered program: one pass over the operation table.
-
-        ``sink`` replays the precomputed structural event stream (requires
+    def replay_events(self, sink: "EventSink") -> None:
+        """Replay the precomputed structural event stream (requires
         ``lower(..., record_events=True)``) — the same injection / fire /
-        hop / output / reclaim vocabulary the interpreter emits live.
-        """
-        if strict and self.strict_error is not None:
-            raise CapacityError(self.strict_error)
-        if sink is not None:
-            if self.events is None:
-                raise ValueError(
-                    "machine was lowered without record_events=True; "
-                    "no event stream to replay")
-            for event in self.events:
-                sink.emit(event)
-        buf: list[object] = [None] * len(self.keys)
-        for vid, name, idx in self.injections:
-            buf[vid] = inputs[name](*idx)
-        for vid, op, operand_ids in self.program:
-            if op is None:
-                buf[vid] = buf[operand_ids[0]]
-            else:
-                buf[vid] = op(*[buf[i] for i in operand_ids])
-        keys = self.keys
-        values = {keys[vid]: buf[vid] for vid in self.produced}
-        results = {host_key: buf[vid] for host_key, vid in self.outputs}
-        stats = MachineStats(
+        hop / output / reclaim vocabulary the interpreter emits live."""
+        if self.events is None:
+            raise ValueError(
+                "machine was lowered without record_events=True; "
+                "no event stream to replay")
+        for event in self.events:
+            sink.emit(event)
+
+    def copy_stats(self) -> MachineStats:
+        """A caller-owned copy of the precomputed statistics block."""
+        return MachineStats(
             cycles=self.stats.cycles, first_cycle=self.stats.first_cycle,
             last_cycle=self.stats.last_cycle,
             cells_used=self.stats.cells_used,
@@ -109,7 +96,42 @@ class CompiledMachine:
             max_registers_per_cell=self.stats.max_registers_per_cell,
             busy_cell_cycles=self.stats.busy_cell_cycles,
             capacity_violations=list(self.stats.capacity_violations))
-        return MachineRun(values, results, stats)
+
+    def result_dicts(self, buf: "list[object] | Sequence[object]",
+                     ) -> tuple[dict, dict]:
+        """``(values, results)`` dicts over an executed value buffer, using
+        the id tuples precomputed at lowering time."""
+        produced_keys = self.produced_keys
+        if produced_keys is None:   # lowered by an older pickle/caller
+            keys = self.keys
+            produced_keys = self.produced_keys = [
+                keys[vid] for vid in self.produced]
+        values = dict(zip(produced_keys, (buf[vid] for vid in self.produced)))
+        results = {host_key: buf[vid] for host_key, vid in self.outputs}
+        return values, results
+
+    def execute(self, inputs: Mapping[str, Callable],
+                strict: bool = True,
+                sink: "EventSink | None" = None) -> MachineRun:
+        """Run the lowered program: one pass over the operation table.
+
+        ``sink`` replays the precomputed structural event stream (requires
+        ``lower(..., record_events=True)``).
+        """
+        if strict and self.strict_error is not None:
+            raise CapacityError(self.strict_error)
+        if sink is not None:
+            self.replay_events(sink)
+        buf: list[object] = [None] * len(self.keys)
+        for vid, name, idx in self.injections:
+            buf[vid] = inputs[name](*idx)
+        for vid, op, operand_ids in self.program:
+            if op is None:
+                buf[vid] = buf[operand_ids[0]]
+            else:
+                buf[vid] = op(*[buf[i] for i in operand_ids])
+        values, results = self.result_dicts(buf)
+        return MachineRun(values, results, self.copy_stats())
 
 
 def _order_group(ops: list) -> list:
@@ -410,7 +432,8 @@ def lower(mc: Microcode, trace: SystemTrace,
         injections=[(vid, e.input_name, e.input_index)
                     for _, _, vid, e in inj_records],
         program=program, outputs=outputs, produced=produced, stats=stats,
-        strict_error=strict_error, events=events)
+        strict_error=strict_error, events=events,
+        produced_keys=[keys[vid] for vid in produced])
 
 
 def run_compiled(mc: Microcode, trace: SystemTrace,

@@ -124,21 +124,28 @@ def run(mc: Microcode, trace: SystemTrace,
     ``engine`` selects the execution strategy: ``"interpreted"`` is this
     cycle-by-cycle loop — the semantic oracle; ``"compiled"`` lowers the
     microcode to integer-indexed form first
-    (:mod:`repro.machine.compiled`) and produces identical output.
+    (:mod:`repro.machine.compiled`); ``"vector"`` additionally partitions
+    the lowered operation table into level-grouped ndarray kernels
+    (:mod:`repro.machine.vector`).  All three produce identical output.
 
     ``sink`` opts into the cycle-level event log: every injection, fire,
     hop, output and register reclamation is emitted as a
-    :class:`~repro.obs.events.MachineEvent` (the compiled engine derives
-    the identical stream structurally).
+    :class:`~repro.obs.events.MachineEvent` (the compiled and vector
+    engines derive the identical stream structurally).
     """
     if engine == "compiled":
         from repro.machine.compiled import run_compiled
 
         return run_compiled(mc, trace, inputs, strict=strict,
                             reclaim_registers=reclaim_registers, sink=sink)
+    if engine == "vector":
+        from repro.machine.vector import run_vector
+
+        return run_vector(mc, trace, inputs, strict=strict,
+                          reclaim_registers=reclaim_registers, sink=sink)
     if engine != "interpreted":
         raise ValueError(f"unknown engine {engine!r} "
-                         "(expected 'compiled' or 'interpreted')")
+                         "(expected 'compiled', 'interpreted' or 'vector')")
     # Register files spring into being on first write: explicit .get()
     # probes keep cells that merely relay or read from materialising empty
     # files (a defaultdict here used to inflate the per-cycle pressure scan).

@@ -12,6 +12,11 @@ from repro.problems.dynamic_programming import (
     dp_system,
     fused_accumulate,
 )
+from repro.problems.instances import (
+    INPUT_PROBLEMS,
+    input_factory,
+    random_inputs,
+)
 from repro.problems.matmul import matmul_inputs, matmul_system
 from repro.problems.parenthesization import (
     paren_body,
@@ -34,6 +39,7 @@ from repro.problems.shortest_path import (
 )
 
 __all__ = [
+    "INPUT_PROBLEMS",
     "classify_design",
     "convolution_backward",
     "convolution_forward",
@@ -42,6 +48,7 @@ __all__ = [
     "dp_spec",
     "dp_system",
     "fused_accumulate",
+    "input_factory",
     "matmul_inputs",
     "matmul_system",
     "paren_body",
@@ -49,6 +56,7 @@ __all__ = [
     "parenthesization_inputs",
     "parenthesization_spec",
     "parenthesization_system",
+    "random_inputs",
     "random_instance",
     "recursive_convolution_backward",
     "recursive_convolution_forward",

@@ -39,6 +39,7 @@ from typing import Callable, Sequence
 from repro.ir.affine import var
 from repro.ir.indexset import Polyhedron, eq, ge, le
 from repro.ir.ops import IDENTITY, MIN, MIN_PLUS, Op, make_op
+from repro.ir.vector import fused_int_kernel
 from repro.ir.program import (
     ArgSpec,
     HighLevelSpec,
@@ -56,9 +57,15 @@ N = var("n")
 
 def fused_accumulate(h: Op, f: Op) -> Op:
     """``hf(prev, x, y) = h(prev, f(x, y))`` — the chain-accumulation body
-    ``c' := h(c'_{k±1}, f(a', b'))``."""
+    ``c' := h(c'_{k±1}, f(a', b'))``.
+
+    When both components are stock ops the fused op also carries the
+    composed exact int64 kernel, so the vector engine keeps DP workloads
+    on the array fast path instead of calling the lambda per element.
+    """
     return make_op(f"{h.name}_after_{f.name}", 3,
-                   lambda prev, x, y: h.fn(prev, f.fn(x, y)))
+                   lambda prev, x, y: h.fn(prev, f.fn(x, y)),
+                   int_kernel=fused_int_kernel(h, f))
 
 
 def dp_spec(f: Op = MIN_PLUS, h: Op = MIN) -> HighLevelSpec:

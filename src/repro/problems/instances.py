@@ -1,0 +1,56 @@
+"""Seeded random input instances for the worked problems.
+
+One place owns the "give me a random but reproducible input binding for
+problem X" logic that the CLI, sweep verification and benchmarks all need.
+:func:`random_inputs` is deliberately a pure function of
+``(problem, params, seed)`` so multi-seed verification
+(``verify_design(..., seeds=...)``) can use ``lambda s: random_inputs(p,
+params, s)`` as its input factory and every consumer draws the identical
+instance for the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from repro.problems.convolution import convolution_inputs
+from repro.problems.dynamic_programming import dp_inputs
+from repro.problems.matmul import matmul_inputs
+
+#: Problem names with seeded instance generators (the CLI problem names).
+INPUT_PROBLEMS = ("dp", "conv-backward", "conv-forward", "matmul")
+
+
+def random_inputs(problem: str, params: Mapping[str, int],
+                  seed: int = 0) -> dict[str, Callable]:
+    """A seeded random input binding for ``problem`` at ``params``.
+
+    Deterministic in ``(problem, params, seed)``.  Raises ``KeyError`` for
+    problems without a generator (callers with user-facing error handling
+    translate it).
+    """
+    rng = random.Random(seed)
+    if problem == "dp":
+        return dp_inputs([rng.randint(1, 9)
+                          for _ in range(params["n"] - 1)])
+    if problem.startswith("conv"):
+        x = [rng.randint(-9, 9) for _ in range(params["n"])]
+        w = [rng.randint(-3, 3) for _ in range(params["s"])]
+        return convolution_inputs(x, w)
+    if problem == "matmul":
+        n = params["n"]
+        import numpy as np
+
+        A = np.array([[rng.randint(-5, 5) for _ in range(n)]
+                      for _ in range(n)])
+        B = np.array([[rng.randint(-5, 5) for _ in range(n)]
+                      for _ in range(n)])
+        return matmul_inputs(A, B)
+    raise KeyError(f"no random inputs for problem {problem!r}")
+
+
+def input_factory(problem: str,
+                  params: Mapping[str, int]) -> Callable[[int], dict]:
+    """``seed -> input binding`` closure for multi-seed verification."""
+    return lambda seed: random_inputs(problem, params, seed)

@@ -65,6 +65,17 @@ class TestSynthesisOptions:
         with pytest.raises(ValueError, match="out of range"):
             SynthesisOptions(time_bound=0)
 
+    def test_engine_validated(self):
+        for engine in ("compiled", "interpreted", "vector"):
+            assert SynthesisOptions(engine=engine).engine == engine
+        with pytest.raises(ValueError, match="unknown engine"):
+            SynthesisOptions(engine="quantum")
+
+    def test_engine_not_in_cache_key(self):
+        # Execution strategy must not split the design cache.
+        assert SynthesisOptions(engine="vector").to_dict() == \
+            SynthesisOptions(engine="compiled").to_dict()
+
     def test_dict_round_trip(self):
         opts = SynthesisOptions(time_bound=4, space_bound=2,
                                 schedule_offsets=(0, 1), space_offsets=None)

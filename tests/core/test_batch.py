@@ -182,3 +182,59 @@ class TestSweepSpec:
         spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
                          param_grid=({"n": 6},), options=opts)
         assert spec.jobs()[0].options == opts
+
+    def test_verify_seeds_flow_into_jobs(self):
+        spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                         param_grid=({"n": 6},), verify_seeds=4)
+        assert spec.jobs()[0].verify_seeds == 4
+
+
+class TestVerifySeeds:
+    SPEC = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                     param_grid=({"n": 6},),
+                     options=SynthesisOptions(engine="vector"),
+                     verify_seeds=4)
+
+    def test_fresh_jobs_verify(self, tmp_path):
+        report = run_sweep(self.SPEC, workers=0, cache_dir=tmp_path)
+        (r,) = report.results
+        assert r.ok and not r.cache_hit
+        assert r.verify_seeds == 4
+        assert r.verified is True
+        assert r.verify_failures == []
+        assert "verify: 1 design(s), 4 seeded runs" in report.summary()
+
+    def test_cached_hits_verify_too(self, tmp_path):
+        run_sweep(self.SPEC, workers=0, cache_dir=tmp_path)
+        report = run_sweep(self.SPEC, workers=0, cache_dir=tmp_path)
+        (r,) = report.results
+        assert r.cache_hit
+        assert r.verify_seeds == 4 and r.verified is True
+
+    def test_verification_off_by_default(self, tmp_path):
+        spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                         param_grid=({"n": 6},))
+        report = run_sweep(spec, workers=0, cache_dir=tmp_path)
+        (r,) = report.results
+        assert r.verify_seeds == 0
+        assert r.verified is None
+        assert "verify:" not in report.summary()
+
+    def test_verify_travels_through_worker_pool(self, tmp_path):
+        spec = SweepSpec(problems=("dp", "conv-backward"),
+                         interconnects=("fig1", "linear"),
+                         param_grid=({"n": 6, "s": 3},),
+                         options=SynthesisOptions(engine="vector"),
+                         verify_seeds=2)
+        report = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        ok = report.ok_results
+        assert ok and all(r.verified is True for r in ok)
+        assert all(r.verify_seeds == 2 for r in ok)
+        # Infeasible jobs never verify.
+        assert all(r.verify_seeds == 0 for r in report.failures)
+
+    def test_verify_fields_serialize(self, tmp_path):
+        report = run_sweep(self.SPEC, workers=0, cache_dir=tmp_path)
+        payload = report.to_dict()["results"][0]
+        assert payload["verify_seeds"] == 4
+        assert payload["verify_failures"] == []

@@ -44,6 +44,23 @@ class TestSynthesize:
         assert "engine=interpreted" in out
         assert "verify.machine" in out    # --stats shows the verify stages
 
+    def test_verify_vector_engine(self, capsys):
+        assert main(["synthesize", "--problem", "dp", "--n", "6",
+                     "--interconnect", "fig1",
+                     "--verify", "--engine", "vector", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "engine=vector" in out
+        assert "vector.exec" in out       # kernel stages in the span tree
+
+    def test_verify_vector_multi_seed(self, capsys):
+        assert main(["synthesize", "--problem", "dp", "--n", "6",
+                     "--interconnect", "fig1", "--verify",
+                     "--engine", "vector", "--seed", "3", "--seeds", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "(seeds=3..10, engine=vector)" in out
+
 
 class TestSweep:
     def test_smoke_grid(self, tmp_path, capsys):
@@ -68,6 +85,18 @@ class TestSweep:
                     if ln.startswith(("|", "+"))]
 
         assert tables(warm) == tables(cold)
+
+    def test_verify_seeds(self, tmp_path, capsys):
+        argv = ["sweep", "--problems", "dp", "--interconnects", "fig1",
+                "--n", "6", "--serial", "--cache-dir", str(tmp_path),
+                "--verify-seeds", "3", "--stats"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "verify: 1 design(s), 3 seeded runs, 0 failure(s)" in cold
+        # Cached designs are re-verified on the warm pass too.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "verify: 1 design(s), 3 seeded runs, 0 failure(s)" in warm
 
     def test_unknown_problem(self):
         with pytest.raises(SystemExit, match="unknown problem"):

@@ -72,6 +72,38 @@ class TestVerifyDesign:
         assert not fast.ok and not oracle.ok
         assert fast.failures == oracle.failures
 
+    def test_vector_engine_agrees(self):
+        design = w2_design()
+        oracle = verify_design(design, INPUTS, engine="interpreted")
+        for _ in range(2):   # second pass hits the cached vplan/vmachine
+            fast = verify_design(design, INPUTS, engine="vector")
+            assert fast.ok == oracle.ok
+            assert fast.failures == oracle.failures
+            assert fast.machine_stats == oracle.machine_stats
+
+    def test_vector_engine_agrees_on_broken_design(self):
+        broken = w2_design(schedule_coeffs=(1, -1))
+        oracle = verify_design(broken, INPUTS, engine="interpreted")
+        fast = verify_design(broken, INPUTS, engine="vector")
+        assert not fast.ok and not oracle.ok
+        assert fast.failures == oracle.failures
+
+    def test_multi_seed_batched_verification(self):
+        design = w2_design()
+        x_pool = [3, -1, 4, 1, -5, 9, 2, -6, 5, 3, 8, -2]
+
+        def factory(seed):
+            return convolution_inputs(
+                [x_pool[(seed + k) % len(x_pool)] for k in range(10)], W)
+
+        batched = verify_design(design, factory, engine="vector",
+                                seeds=range(5))
+        looped = verify_design(design, factory, engine="compiled",
+                               seeds=range(5))
+        assert batched.ok and looped.ok
+        assert batched.seeds_checked == looped.seeds_checked == 5
+        assert batched.machine_stats == looped.machine_stats
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             verify_design(w2_design(), INPUTS, engine="quantum")

@@ -1,0 +1,300 @@
+"""The level-grouped kernel engine against the interpreter oracle:
+plan-level equivalence, the exact int64/object dtype policy, the batch
+axis, and the lowering's level/group structure."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ADD,
+    ComputeRule,
+    Equation,
+    InputRule,
+    Module,
+    OutputSpec,
+    Polyhedron,
+    RecurrenceSystem,
+    Ref,
+    ValueKey,
+    build_execution_plan,
+    execute_plan,
+    execute_plan_batch,
+    execute_plan_vector,
+    lower_plan,
+    make_op,
+    trace_execution,
+)
+from repro.ir.affine import var
+from repro.ir.predicates import at_least
+from repro.ir.vector import (
+    IntegerFallback,
+    _checked_add,
+    _checked_mul,
+    build_program,
+    execute_program,
+    fused_int_kernel,
+)
+
+I = var("i")
+
+
+def fib_system(op=ADD):
+    domain = Polyhedron.box({"i": (1, 10)})
+    eqn = Equation("x", (
+        InputRule("seed", (I,), guard=at_least(2 - I, 0)),
+        ComputeRule(op, (Ref.of("x", I - 1), Ref.of("x", I - 2)),
+                    guard=at_least(I, 3)),
+    ))
+    m = Module("fib", ("i",), domain, [eqn])
+    return RecurrenceSystem(
+        "fib", [m], outputs=[OutputSpec("fib", "x", domain, (I,))],
+        input_names=("seed",))
+
+
+def assert_traces_equal(got, want):
+    assert got.results == want.results
+    assert {k: e.value for k, e in got.events.items()} == \
+        {k: e.value for k, e in want.events.items()}
+
+
+class TestPlanEquivalence:
+    def test_fibonacci(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: 1}
+        assert_traces_equal(execute_plan_vector(plan, inputs),
+                            execute_plan(plan, inputs))
+
+    def test_dp_system(self, dp_sys, dp_params, dp_host_inputs):
+        plan = build_execution_plan(dp_sys, dp_params)
+        assert_traces_equal(execute_plan_vector(plan, dp_host_inputs),
+                            execute_plan(plan, dp_host_inputs))
+
+    def test_event_rules_and_operands_match(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: 1}
+        vec = execute_plan_vector(plan, inputs).events
+        ref = execute_plan(plan, inputs).events
+        key = ValueKey("fib", "x", (7,))
+        assert vec[key].operands == ref[key].operands
+        assert vec[key].rule is ref[key].rule
+
+    def test_missing_input_binding(self):
+        plan = build_execution_plan(fib_system(), {})
+        with pytest.raises(KeyError):
+            execute_plan_vector(plan, {})
+
+    def test_reusable_lowered_program(self):
+        plan = build_execution_plan(fib_system(), {})
+        program = lower_plan(plan)
+        for seed in (1, 2, 5):
+            got = execute_plan_vector(plan, {"seed": lambda i: seed},
+                                      program=program)
+            assert got.results[(10,)] == 55 * seed
+
+
+class TestDtypePolicy:
+    def test_integer_path_stays_exact_python_int(self):
+        plan = build_execution_plan(fib_system(), {})
+        res = execute_plan_vector(plan, {"seed": lambda i: 1}).results
+        assert res[(10,)] == 55
+        assert type(res[(10,)]) is int
+
+    def test_fraction_inputs_fall_back_to_object(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: Fraction(1, 3)}
+        got = execute_plan_vector(plan, inputs)
+        want = execute_plan(plan, inputs)
+        assert_traces_equal(got, want)
+        assert isinstance(got.results[(10,)], Fraction)
+
+    def test_huge_ints_overflow_to_object_path(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: 2**62}
+        got = execute_plan_vector(plan, inputs)
+        want = execute_plan(plan, inputs)
+        assert got.results == want.results
+        assert got.results[(10,)] == 55 * 2**62     # exceeds int64
+
+    def test_input_wider_than_int64_falls_back(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: 2**100}
+        assert execute_plan_vector(plan, inputs).results == \
+            execute_plan(plan, inputs).results
+
+    def test_custom_op_uses_object_kernel(self):
+        # Tuple-valued custom op: no stock int64 kernel may apply.
+        pair = make_op("pair", 2, lambda a, b: (a, b))
+        plan = build_execution_plan(fib_system(op=pair), {})
+        program = lower_plan(plan)
+        assert not program.int_ok
+        inputs = {"seed": lambda i: i}
+        assert_traces_equal(execute_plan_vector(plan, inputs, program),
+                            execute_plan(plan, inputs))
+
+    def test_same_name_custom_op_misses_fast_path(self):
+        # Equality on Op ignores fn; the fast path must not.
+        fake_add = make_op("add", 2, lambda a, b: a - b)
+        assert fake_add == ADD
+        plan = build_execution_plan(fib_system(op=fake_add), {})
+        program = lower_plan(plan)
+        assert not program.int_ok
+        inputs = {"seed": lambda i: 1}
+        assert execute_plan_vector(plan, inputs, program).results == \
+            execute_plan(plan, inputs).results
+
+    def test_custom_op_with_int_kernel_stays_fast(self):
+        # An op may carry its own exact kernel (the fused DP body does).
+        plus = make_op("plus3", 2, lambda a, b: a + b,
+                       int_kernel=_checked_add)
+        plan = build_execution_plan(fib_system(op=plus), {})
+        program = lower_plan(plan)
+        assert program.int_ok
+        inputs = {"seed": lambda i: 1}
+        assert execute_plan_vector(plan, inputs, program).results == \
+            execute_plan(plan, inputs).results
+
+    def test_fused_dp_body_takes_fast_path(self):
+        from repro.problems import dp_system
+
+        plan = build_execution_plan(dp_system(), {"n": 6})
+        assert lower_plan(plan).int_ok
+
+    def test_fused_kernel_requires_stock_components(self):
+        from repro.ir import MIN, MIN_PLUS
+
+        assert fused_int_kernel(MIN, MIN_PLUS) is not None
+        custom = make_op("weird", 2, lambda a, b: a * b - 1)
+        assert fused_int_kernel(MIN, custom) is None
+        assert fused_int_kernel(custom, MIN_PLUS) is None
+        # Same-name impostor: fn identity is checked, not op equality.
+        fake_min = make_op("min", 2, lambda a, b: a)
+        assert fused_int_kernel(fake_min, MIN_PLUS) is None
+
+    def test_fused_kernel_overflow_falls_back_exactly(self):
+        from repro.problems import dp_inputs, dp_system
+
+        plan = build_execution_plan(dp_system(), {"n": 5})
+        inputs = dp_inputs([2**62, 2**62, 2**62, 2**62])
+        got = execute_plan_vector(plan, inputs)
+        want = execute_plan(plan, inputs)
+        assert got.results == want.results
+        assert any(v > 2**63 for v in got.results.values())
+
+    def test_bool_inputs_fall_back(self):
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: True}
+        got = execute_plan_vector(plan, inputs)
+        assert got.results == execute_plan(plan, inputs).results
+
+
+class TestCheckedKernels:
+    def test_add_overflow_raises(self):
+        big = np.array([2**62, 1], dtype=np.int64)
+        with pytest.raises(IntegerFallback):
+            _checked_add(big, big)
+
+    def test_add_in_range_ok(self):
+        a = np.array([2**62, -5], dtype=np.int64)
+        b = np.array([-(2**62), 7], dtype=np.int64)
+        assert _checked_add(a, b).tolist() == [0, 2]
+
+    def test_mul_overflow_raises(self):
+        a = np.array([2**33], dtype=np.int64)
+        with pytest.raises(IntegerFallback):
+            _checked_mul(a, a)
+
+    def test_mul_with_zero_operand_ok(self):
+        a = np.array([0, 3], dtype=np.int64)
+        b = np.array([2**62, 4], dtype=np.int64)
+        assert _checked_mul(a, b).tolist() == [0, 12]
+
+
+class TestBatchAxis:
+    def test_batch_matches_loop(self):
+        plan = build_execution_plan(fib_system(), {})
+        input_sets = [{"seed": (lambda i, s=s: s)} for s in range(1, 6)]
+        batch = execute_plan_batch(plan, input_sets)
+        assert len(batch) == 5
+        for bindings, got in zip(input_sets, batch):
+            assert_traces_equal(got, execute_plan(plan, bindings))
+
+    def test_empty_batch(self):
+        plan = build_execution_plan(fib_system(), {})
+        assert execute_plan_batch(plan, []) == []
+
+    def test_one_fraction_seed_demotes_whole_batch_exactly(self):
+        # A single non-integer instantiation sends the *pass* to the object
+        # path; every seed must still match its own interpreter run.
+        plan = build_execution_plan(fib_system(), {})
+        input_sets = [{"seed": lambda i: 2},
+                      {"seed": lambda i: Fraction(1, 2)}]
+        batch = execute_plan_batch(plan, input_sets)
+        for bindings, got in zip(input_sets, batch):
+            assert got.results == execute_plan(plan, bindings).results
+
+
+class TestLazyEvents:
+    def test_execute_plan_defers_event_build(self):
+        plan = build_execution_plan(fib_system(), {})
+        trace = execute_plan(plan, {"seed": lambda i: 1})
+        assert trace._pending is not None      # no Event objects built yet
+        assert trace.results[(10,)] == 55      # results stay eager
+        events = trace.events
+        assert trace._pending is None
+        assert events[ValueKey("fib", "x", (10,))].value == 55
+
+    def test_vector_trace_defers_too(self):
+        plan = build_execution_plan(fib_system(), {})
+        trace = execute_plan_vector(plan, {"seed": lambda i: 1})
+        assert trace._pending is not None
+        assert trace.events[ValueKey("fib", "x", (10,))].value == 55
+
+    def test_trace_execution_contract_unchanged(self):
+        trace = trace_execution(fib_system(), {}, {"seed": lambda i: 1})
+        assert trace.events[ValueKey("fib", "x", (5,))].value == 5
+
+    def test_events_setter_clears_pending(self):
+        plan = build_execution_plan(fib_system(), {})
+        trace = execute_plan(plan, {"seed": lambda i: 1})
+        trace.events = {}
+        assert trace.events == {}
+
+
+class TestLoweredStructure:
+    def test_levels_and_groups(self):
+        plan = build_execution_plan(fib_system(), {})
+        program = lower_plan(plan)
+        stats = program.stats()
+        assert stats["nodes"] == plan.node_count
+        assert stats["input_groups"] == 1
+        assert stats["compute_groups"] >= 1
+        assert stats["levels"] >= 2
+        assert program.int_ok
+
+    def test_level_respects_raw_dependences(self):
+        plan = build_execution_plan(fib_system(), {})
+        program = lower_plan(plan)
+        producer_level = {}
+        for group in program.groups:
+            for dst in np.atleast_1d(group.dst):
+                producer_level[int(dst)] = group.level
+        for group in program.groups:
+            for col in group.operands:
+                for dst, src in zip(group.dst, col):
+                    assert producer_level[int(src)] < group.level
+
+    def test_non_ssa_rewrite_sequenced(self):
+        # dst 2 is written twice; the copy reading the first value must see
+        # the first value, the one after the rewrite the second.
+        entries = [
+            (2, None, (0,)),          # 2 <- input a
+            (3, None, (2,)),          # reads first value
+            (2, None, (1,)),          # WAR+WAW rewrite: 2 <- input b
+            (4, None, (2,)),          # reads second value
+        ]
+        program = build_program(5, entries, [(0, "a", ()), (1, "b", ())])
+        out = execute_program(program,
+                              [{"a": lambda: 10, "b": lambda: 20}])
+        assert out[0].tolist()[2:] == [20, 10, 20]
