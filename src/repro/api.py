@@ -24,6 +24,10 @@ Surface groups:
   :class:`SweepReport`, :data:`PROBLEM_BUILDERS`;
 * persistent cache — :class:`DesignCache`, :func:`cache_key`,
   :func:`system_fingerprint`;
+* fuzzing — :func:`fuzz` (budgeted random round-trips of the nonuniform
+  pipeline), :func:`run_case` / :class:`CaseDescriptor` /
+  :class:`CaseOutcome`, and the regression corpus (:func:`load_corpus`,
+  :func:`replay_corpus`);
 * errors — :class:`SynthesisError` and its concrete subclasses;
 * naming — :func:`resolve_interconnect`, :data:`STOCK_INTERCONNECTS`;
 * observability — the span tracer (:data:`TRACER`), cycle-level machine
@@ -69,6 +73,15 @@ from repro.core.explore import (
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
 from repro.core.verify import ENGINES, VerificationReport, verify_design
+from repro.fuzz import (
+    CaseDescriptor,
+    CaseOutcome,
+    FuzzReport,
+    fuzz,
+    load_corpus,
+    replay_corpus,
+    run_case,
+)
 from repro.machine.analysis import CellUtilization, cell_utilization
 from repro.problems import input_factory, random_inputs
 from repro.obs import (
@@ -85,6 +98,8 @@ from repro.obs import (
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CaseDescriptor",
+    "CaseOutcome",
     "CellUtilization",
     "Design",
     "DesignCache",
@@ -92,6 +107,7 @@ __all__ = [
     "EventLog",
     "EventSink",
     "ExploredDesign",
+    "FuzzReport",
     "INTERCONNECT_ALIASES",
     "Interconnect",
     "METRICS_ENV_VAR",
@@ -115,12 +131,16 @@ __all__ = [
     "default_workers",
     "explore_interconnects",
     "explore_uniform",
+    "fuzz",
     "input_factory",
+    "load_corpus",
     "load_run_record",
     "metrics_dir",
     "pareto_front",
     "random_inputs",
+    "replay_corpus",
     "resolve_interconnect",
+    "run_case",
     "run_sweep",
     "synthesize",
     "system_fingerprint",

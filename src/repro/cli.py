@@ -13,6 +13,8 @@ fig1,linear --n 6,8 --stats
     python -m repro trace --problem dp --interconnect fig1 --n 8
     python -m repro figures --n 8
     python -m repro cell --n 8 --x 3 --y 2
+    python -m repro fuzz --examples 200 --budget 120 --seed 1
+    python -m repro fuzz --replay
 
 Observability: every command accepts ``--stats`` (hierarchical span report)
 and ``--metrics-dir`` (persist a :class:`~repro.obs.metrics.RunRecord`;
@@ -28,6 +30,7 @@ import json
 import sys
 import time
 from dataclasses import asdict
+from pathlib import Path
 
 from repro.api import (
     SweepSpec,
@@ -282,6 +285,43 @@ def cmd_cell(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import fuzz, load_corpus, replay_corpus
+
+    if args.replay:
+        results = replay_corpus(args.corpus_dir)
+        if not results:
+            print(f"no corpus artifacts under {args.corpus_dir}")
+            return 0
+        failed = 0
+        for artifact, outcome, ok in results:
+            mark = "ok" if ok else "FAIL"
+            want = artifact["expect"] or "not-a-bug"
+            print(f"{mark:4} {artifact['path'].name}: {outcome.status} "
+                  f"(expect {want})")
+            if not ok:
+                failed += 1
+                detail = outcome.detail.strip()
+                if detail:
+                    print("     " + detail.splitlines()[-1])
+        print(f"replayed {len(results)} artifacts, {failed} failing")
+        RUN_EXTRA["fuzz"] = {"replayed": len(results), "failed": failed}
+        return 1 if failed else 0
+
+    report = fuzz(max_examples=args.examples, budget=args.budget,
+                  seed=args.seed, corpus_dir=args.corpus_dir,
+                  max_failures=args.max_failures, db_dir=args.db,
+                  log=print)
+    print(report.summary())
+    known = len(load_corpus(args.corpus_dir))
+    print(f"corpus: {known} artifacts under {args.corpus_dir}")
+    RUN_EXTRA["fuzz"] = {"examples_run": report.examples_run,
+                         "counts": report.counts,
+                         "failures": len(report.failures),
+                         "seed": report.seed}
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -401,6 +441,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--x", type=int, required=True)
     p.add_argument("--y", type=int, required=True)
     p.set_defaults(fn=cmd_cell)
+
+    p = sub.add_parser(
+        "fuzz", parents=[common],
+        help="property-fuzz the nonuniform pipeline: random recurrence "
+             "systems through restructure/synthesize/all three engines, "
+             "cross-checked against a direct evaluation; shrunk failures "
+             "are saved as corpus artifacts")
+    p.add_argument("--examples", type=int, default=100, metavar="N",
+                   help="example budget (default 100)")
+    p.add_argument("--budget", type=float, default=60.0, metavar="SEC",
+                   help="time budget in seconds (default 60)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generation seed (a run is reproducible from "
+                        "seed + budgets)")
+    p.add_argument("--corpus-dir", default=str(Path("tests") / "corpus"),
+                   metavar="DIR",
+                   help="where shrunk failing artifacts are saved and "
+                        "replayed from (default tests/corpus)")
+    p.add_argument("--max-failures", type=int, default=3, metavar="K",
+                   help="stop after K distinct failure signatures")
+    p.add_argument("--db", default=None, metavar="DIR",
+                   help="persistent hypothesis example database (CI keeps "
+                        "shrunk examples across runs)")
+    p.add_argument("--replay", action="store_true",
+                   help="re-run every corpus artifact instead of "
+                        "generating new examples")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -52,7 +52,11 @@ from repro.util.instrument import STATS
 CACHE_ENV_VAR = "REPRO_DESIGN_CACHE"
 
 #: Bump when the payload or key layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``LinkRule.__repr__`` gained ``min_gap``, which changes a link's
+#: timing constraint and therefore feasibility — v1 fingerprints collided
+#: across systems differing only there, letting a cached failure (negative
+#: entry) poison a feasible variant.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:

@@ -9,7 +9,11 @@ The pipeline:
 4. jointly solve for space maps (S', S'', S) subject to flow realisability,
    full-rank conflict-freedom and the adjacency constraints (10) — minimal
    processor count;
-5. package everything as a :class:`~repro.core.design.Design`.
+5. compile-check each space candidate's placement and routing on a
+   value-free trace — link *bandwidth* is outside the solvers' model, so a
+   solver-feasible candidate can still saturate a physical channel — and
+   reject any that cannot be lowered;
+6. package everything as a :class:`~repro.core.design.Design`.
 
 Escalation: if no solution exists with homogeneous schedules / zero space
 offsets, the solvers retry with offsets — "the design procedure is repeated"
@@ -25,7 +29,10 @@ from repro.core.design import Design
 from repro.core.globals import link_constraints
 from repro.core.options import _UNSET, SynthesisOptions, resolve_options
 from repro.deps.extract import system_dependence_matrices
+from repro.ir.evaluate import structural_trace
 from repro.ir.program import RecurrenceSystem
+from repro.machine.errors import MachineError
+from repro.machine.microcode import compile_design
 from repro.schedule.multimodule import (
     ModuleSchedulingProblem,
     normalise_start,
@@ -108,6 +115,27 @@ def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
     plans = ["plain"] if space_offsets is not None else ["plain", "translated"]
     best = None
     last_error: NoSpaceMapExists | None = None
+
+    check_trace = None
+
+    def lowering_failure(candidate) -> NoSpaceMapExists | None:
+        """Physical feasibility of a candidate beyond the solvers' model.
+
+        The space solver enforces adjacency and conflict-freedom but not
+        link *bandwidth*: a minimal-cells solution can still need one
+        physical channel twice in the same cycle.  Compile the candidate's
+        placement and routing over a value-free trace and reject any that
+        cannot be lowered."""
+        nonlocal check_trace
+        if check_trace is None:
+            check_trace = structural_trace(system, params)
+        try:
+            compile_design(check_trace, schedules, candidate.maps, decomposer)
+        except MachineError as exc:
+            return NoSpaceMapExists(
+                f"space solution does not lower: {type(exc).__name__}: {exc}")
+        return None
+
     with STATS.stage("synthesize.space"):
         for plan in plans:
             space_problems = [
@@ -122,6 +150,10 @@ def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
                     interconnect.label_dim)
             except NoSpaceMapExists as exc:
                 last_error = exc
+                continue
+            failure = lowering_failure(candidate)
+            if failure is not None:
+                last_error = failure
                 continue
             if best is None or candidate.total_cells < best.total_cells:
                 best = candidate
@@ -139,6 +171,9 @@ def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
             except NoSpaceMapExists as exc:
                 error = last_error if last_error is not None else exc
                 raise error from exc
+            failure = lowering_failure(best)
+            if failure is not None:
+                raise failure
     space_solution = best
 
     return Design(system=system, params=params, interconnect=interconnect,

@@ -30,6 +30,7 @@ from repro.core.coarse import CoarseTiming, coarse_timing
 from repro.ir.affine import AffineExpr, QuasiAffineExpr, var
 from repro.ir.indexset import Polyhedron, ge, le
 from repro.ir.ops import IDENTITY, Op, make_op
+from repro.ir.vector import fused_int_kernel
 from repro.ir.predicates import Predicate, TRUE, at_least, at_most
 from repro.ir.program import (
     HighLevelSpec,
@@ -44,9 +45,15 @@ _CARRIER_NAMES = "abuvxyz"
 
 
 def fused_accumulate(h: Op, f: Op) -> Op:
-    """``hf(prev, ...) = h(prev, f(...))``."""
+    """``hf(prev, ...) = h(prev, f(...))``.
+
+    When both components are stock ops the fused op also carries the
+    composed exact int64 kernel, so restructured systems stay on the
+    vector engine's array fast path (custom components keep the op on
+    the object path — :func:`fused_int_kernel` returns ``None``)."""
     return make_op(f"{h.name}_after_{f.name}", f.arity + 1,
-                   lambda prev, *xs: h.fn(prev, f.fn(*xs)))
+                   lambda prev, *xs: h.fn(prev, f.fn(*xs)),
+                   int_kernel=fused_int_kernel(h, f))
 
 
 def _substitute_constraints(constraints, binding) -> list[AffineExpr]:

@@ -273,6 +273,10 @@ def verify_design(design: Design, inputs,
                 "with seeds=..., 'inputs' must be a factory callable "
                 "mapping a seed to an input binding")
         seeds = list(seeds)
+        if not seeds:
+            raise ValueError(
+                "seeds=[] would check nothing and report ok; pass seeds=None "
+                "for a single-input verification or a non-empty sequence")
         input_sets = [inputs(s) for s in seeds]
         prefixes = [f"seed {s}: " for s in seeds]
         report.seeds_checked = len(seeds)

@@ -1,0 +1,67 @@
+"""Property-based fuzzing of the full nonuniform pipeline.
+
+The paper's worked figures exercise one recurrence shape; this package
+round-trips *random* canonic-form reduction systems — random chain
+structures, reduction bounds, op tables and value pools — through chain
+decomposition, restructuring, scheduling, space mapping and all three
+execution engines, comparing values and canonical event streams against a
+direct dumb evaluation (:mod:`repro.fuzz.oracle`).
+
+Entry points: :func:`fuzz` (budgeted hypothesis run, CLI ``repro fuzz``),
+:func:`run_case` (one descriptor end to end), :func:`replay_corpus` /
+:func:`load_corpus` (the persisted regression artifacts under
+``tests/corpus/``).
+"""
+
+from repro.fuzz.cases import (
+    BODY1_OPS,
+    BODY2_OPS,
+    COMBINE_OPS,
+    CaseDescriptor,
+    build_inputs,
+    build_spec,
+    seed_value,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    artifact_name,
+    load_artifact,
+    load_corpus,
+    save_artifact,
+)
+from repro.fuzz.harness import ENGINE_ORDER, CaseOutcome, run_case
+from repro.fuzz.oracle import OracleReject, evaluate
+from repro.fuzz.runner import (
+    ARG_SHAPES,
+    BOUNDARY_INTS,
+    HAVE_HYPOTHESIS,
+    FuzzReport,
+    fuzz,
+    replay_corpus,
+)
+
+__all__ = [
+    "ARG_SHAPES",
+    "BODY1_OPS",
+    "BODY2_OPS",
+    "BOUNDARY_INTS",
+    "COMBINE_OPS",
+    "CaseDescriptor",
+    "CaseOutcome",
+    "DEFAULT_CORPUS_DIR",
+    "ENGINE_ORDER",
+    "FuzzReport",
+    "HAVE_HYPOTHESIS",
+    "OracleReject",
+    "artifact_name",
+    "build_inputs",
+    "build_spec",
+    "evaluate",
+    "fuzz",
+    "load_artifact",
+    "load_corpus",
+    "replay_corpus",
+    "run_case",
+    "save_artifact",
+    "seed_value",
+]

@@ -1,0 +1,87 @@
+"""Corpus artifacts: shrunk fuzz failures persisted as regression tests.
+
+One artifact is one JSON file, ``fuzz-<sha12>.json``::
+
+    {
+      "format": 1,
+      "descriptor": { ... CaseDescriptor.to_dict() ... },
+      "expect": "ok" | "infeasible" | null,
+      "note": "why this artifact exists",
+      "found": {"stage": ..., "detail": ...}     # failure evidence, optional
+    }
+
+``expect`` is the contract the replay test enforces: the recorded status
+must match exactly.  A *fresh* failure is saved with ``expect: null`` —
+the replay then only requires "not a bug", and whoever fixes the bug
+upgrades ``expect`` to the now-correct status, turning the artifact into a
+pinned regression.  The file name is content-addressed on the descriptor,
+so re-finding the same shrunk example never duplicates an artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fuzz.cases import CaseDescriptor
+
+ARTIFACT_FORMAT = 1
+
+#: Repo-relative default, shared by the CLI and the replay test.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+def artifact_name(desc: CaseDescriptor) -> str:
+    canonical = json.dumps(desc.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return f"fuzz-{digest}.json"
+
+
+def save_artifact(corpus_dir, desc: CaseDescriptor, *,
+                  expect: "str | None" = None, note: str = "",
+                  found: "dict | None" = None) -> Path:
+    """Write (or overwrite) the artifact for ``desc``; returns its path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "descriptor": desc.to_dict(),
+        "expect": expect,
+        "note": note,
+    }
+    if found is not None:
+        payload["found"] = found
+    path = corpus_dir / artifact_name(desc)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_artifact(path) -> dict:
+    """The parsed artifact with ``descriptor`` decoded.
+
+    Returns ``{"descriptor": CaseDescriptor, "expect": ..., "note": ...,
+    "found": ..., "path": Path}``.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"{path}: unknown artifact format "
+                         f"{payload.get('format')!r}")
+    return {
+        "descriptor": CaseDescriptor.from_dict(payload["descriptor"]),
+        "expect": payload.get("expect"),
+        "note": payload.get("note", ""),
+        "found": payload.get("found"),
+        "path": path,
+    }
+
+
+def load_corpus(corpus_dir) -> list[dict]:
+    """Every artifact under ``corpus_dir``, sorted by file name."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    return [load_artifact(p) for p in sorted(corpus_dir.glob("fuzz-*.json"))]

@@ -1,0 +1,146 @@
+"""Round-trip one fuzz case through the full nonuniform pipeline.
+
+Stages, in order, with the outcome taxonomy each can produce:
+
+1. **oracle** — direct dumb evaluation (:mod:`repro.fuzz.oracle`).
+   Unclosed or cyclic descriptors are ``reject`` — they denote no
+   computation, so the pipeline never sees them.
+2. **restructure** — chain decomposition + system construction.  Documented
+   spec-shape errors (:class:`RestructureError`,
+   :class:`ChainDecompositionError`, ``ValueError``) are ``reject``;
+   an unschedulable coarse timing is ``infeasible``.
+3. **reference** — the IR evaluator must equal the oracle (``bug`` when it
+   differs or crashes).
+4. **synthesize** — schedule + space mapping on the descriptor's
+   interconnect; :class:`NoScheduleExists` / :class:`NoSpaceMapExists` are
+   ``infeasible`` (honest: the array cannot host the instance).
+5. **verify** — :func:`verify_design`'s symbolic + physical checks.
+6. **engines** — all three engines run the compiled design; each must
+   reproduce the oracle's values exactly *and* emit the byte-identical
+   canonical event stream (``canonical_order`` then JSONL).
+
+Any unexpected exception anywhere is a ``bug`` — error-path hygiene is
+part of the contract being fuzzed.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from repro.arrays.interconnect import resolve_interconnect
+from repro.chains.decompose import ChainDecompositionError
+from repro.core.nonuniform import synthesize
+from repro.core.options import SynthesisOptions
+from repro.core.restructure import RestructureError, restructure
+from repro.core.verify import verify_design
+from repro.fuzz.cases import CaseDescriptor, build_inputs, build_spec
+from repro.fuzz.oracle import OracleReject, evaluate
+from repro.ir.evaluate import run_system, trace_execution
+from repro.machine.microcode import compile_design
+from repro.machine.simulator import run
+from repro.obs.events import EventLog, canonical_order
+from repro.schedule.solver import NoScheduleExists
+from repro.space.multimodule import NoSpaceMapExists
+
+#: Engine order for the cross-check (the interpreter is the oracle of the
+#: event stream; the other two must match it byte for byte).
+ENGINE_ORDER = ("interpreted", "compiled", "vector")
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """What happened to one descriptor.
+
+    ``status`` is one of ``ok`` (full round-trip, all engines agree),
+    ``reject`` (the descriptor denotes no well-formed computation, or the
+    restructurer refused its shape with a documented error),
+    ``infeasible`` (no schedule / space map on the chosen interconnect) and
+    ``bug`` (anything else — a value divergence, a stream divergence, an
+    undocumented exception).  ``stage`` names where it happened; ``detail``
+    is human-readable evidence.
+    """
+
+    status: str
+    stage: str = ""
+    detail: str = ""
+
+    @property
+    def is_bug(self) -> bool:
+        return self.status == "bug"
+
+
+def _diff(results, oracle, limit: int = 3) -> str:
+    keys = [k for k in oracle if results.get(k) != oracle[k]][:limit]
+    pairs = [(k, results.get(k), oracle[k]) for k in keys]
+    return f"first diffs (key, got, want): {pairs}"
+
+
+def run_case(desc: CaseDescriptor) -> CaseOutcome:
+    """Round-trip ``desc``; never raises — failures become outcomes."""
+    try:
+        oracle = evaluate(desc)
+    except OracleReject as exc:
+        return CaseOutcome("reject", "oracle", str(exc))
+
+    spec = build_spec(desc)
+    params = {"n": desc.n}
+    try:
+        system = restructure(spec, params=params)
+    except (RestructureError, ChainDecompositionError, ValueError) as exc:
+        return CaseOutcome("reject", "restructure",
+                           f"{type(exc).__name__}: {exc}")
+    except NoScheduleExists as exc:
+        return CaseOutcome("infeasible", "coarse", str(exc))
+    except Exception:
+        return CaseOutcome("bug", "restructure", traceback.format_exc())
+
+    inputs = build_inputs(desc)
+    try:
+        reference = run_system(system, params, inputs)
+    except Exception:
+        return CaseOutcome("bug", "reference", traceback.format_exc())
+    if reference != oracle:
+        return CaseOutcome("bug", "reference", _diff(reference, oracle))
+
+    interconnect = resolve_interconnect(desc.interconnect)
+    options = SynthesisOptions(time_bound=desc.time_bound)
+    try:
+        design = synthesize(system, params, interconnect, options)
+    except (NoScheduleExists, NoSpaceMapExists) as exc:
+        return CaseOutcome("infeasible", "synthesize",
+                           f"{type(exc).__name__}: {exc}")
+    except Exception:
+        return CaseOutcome("bug", "synthesize", traceback.format_exc())
+
+    try:
+        report = verify_design(design, inputs, engine="compiled")
+    except Exception:
+        return CaseOutcome("bug", "verify", traceback.format_exc())
+    if not report.ok:
+        return CaseOutcome("bug", "verify", "; ".join(report.failures))
+
+    streams: dict[str, str] = {}
+    try:
+        trace = trace_execution(system, params, inputs)
+        mc = compile_design(trace, design.schedules, design.space_maps,
+                            interconnect.decomposer())
+        for engine in ENGINE_ORDER:
+            log = EventLog()
+            machine = run(mc, trace, inputs, strict=True, engine=engine,
+                          sink=log)
+            if machine.results != oracle:
+                return CaseOutcome("bug", f"engine:{engine}",
+                                   _diff(machine.results, oracle))
+            log.events = canonical_order(log.events)
+            streams[engine] = log.to_jsonl()
+    except Exception:
+        return CaseOutcome("bug", "engines", traceback.format_exc())
+
+    if len(set(streams.values())) != 1:
+        sizes = {name: len(body.splitlines())
+                 for name, body in streams.items()}
+        return CaseOutcome("bug", "events",
+                           f"canonical event streams differ across engines "
+                           f"(lines per engine: {sizes})")
+    return CaseOutcome("ok")

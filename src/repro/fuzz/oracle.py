@@ -1,0 +1,81 @@
+"""Direct dumb evaluation of a fuzz case — the independent ground truth.
+
+Plain memoised recursion over the descriptor: no ``HighLevelSpec``, no
+polyhedra, no evaluation plan — nothing the pipeline under test could
+share a bug with.  The reduction folds ``k`` ascending, which is only
+comparable to the restructured system's per-chain folds because
+:data:`~repro.fuzz.cases.COMBINE_OPS` is restricted to associative and
+commutative ops.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.cases import (
+    BODY1_OPS,
+    BODY2_OPS,
+    COMBINE_OPS,
+    CaseDescriptor,
+    seed_value,
+)
+
+
+class OracleReject(Exception):
+    """The descriptor does not denote a well-formed computation: a
+    reference escapes the domain/init band (unclosed) or the recursion is
+    cyclic.  Such cases never reach the pipeline."""
+
+
+def evaluate(desc: CaseDescriptor) -> dict[tuple[int, int], object]:
+    """``{(i, j): value}`` over the full domain, or :class:`OracleReject`."""
+    lo, hi, n, pool = desc.lo, desc.hi, desc.n, desc.pool
+    table = BODY1_OPS if len(desc.args) == 1 else BODY2_OPS
+    body = table[desc.body].fn
+    combine = COMBINE_OPS[desc.combine].fn
+    bmin = min(lo, hi)
+
+    def in_init(i: int, j: int) -> bool:
+        return 1 <= i and j <= n and bmin <= j - i <= lo + hi - 1
+
+    def in_domain(i: int, j: int) -> bool:
+        return 1 <= i and j <= n and j - i >= lo + hi
+
+    cache: dict[tuple[int, int], object] = {}
+    visiting: set[tuple[int, int]] = set()
+
+    def value(i: int, j: int):
+        if (i, j) in cache:
+            return cache[(i, j)]
+        if in_init(i, j):
+            v = seed_value(pool, i, j)
+            cache[(i, j)] = v
+            return v
+        if not in_domain(i, j):
+            raise OracleReject(f"reference to ({i}, {j}) escapes the domain")
+        if (i, j) in visiting:
+            raise OracleReject(f"cyclic dependence through ({i}, {j})")
+        visiting.add(i_j := (i, j))
+        acc = None
+        for k in range(i + lo, j - hi + 1):
+            operands = []
+            for rc, (oi, oj) in desc.args:
+                point = [i, j]
+                if rc != 0:
+                    point[0] -= oi
+                if rc != 1:
+                    point[1] -= oj
+                point[rc] = k
+                operands.append(value(*point))
+            term = body(*operands)
+            acc = term if acc is None else combine(acc, term)
+        visiting.discard(i_j)
+        cache[i_j] = acc
+        return acc
+
+    results = {}
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            if in_domain(i, j):
+                results[(i, j)] = value(i, j)
+    if not results:
+        raise OracleReject("empty domain")
+    return results

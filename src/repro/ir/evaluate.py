@@ -389,3 +389,18 @@ def run_system(system: RecurrenceSystem, params: Mapping[str, int],
                inputs: Mapping[str, Callable]) -> dict[tuple[int, ...], object]:
     """Execute and return only the host results."""
     return trace_execution(system, params, inputs).results
+
+
+def structural_trace(system: RecurrenceSystem,
+                     params: Mapping[str, int]) -> SystemTrace:
+    """Dependence-only trace: every event carries ``value=None``.
+
+    Placement and routing (:func:`~repro.machine.microcode.compile_design`)
+    read only keys, rules and operand edges, so this is enough to validate a
+    design's physical feasibility — channel capacity, locality, causality —
+    without binding any host inputs."""
+    plan = build_execution_plan(system, params)
+    trace = SystemTrace(system, dict(plan.params))
+    trace.domains = plan.domains
+    trace._pending = (plan, [None] * plan.node_count)
+    return trace

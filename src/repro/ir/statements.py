@@ -60,7 +60,11 @@ class LinkRule:
 
     def __repr__(self) -> str:
         tag = f"{self.label}: " if self.label else ""
-        return f"[{self.guard}] {tag}{self.source}"
+        # min_gap changes the link's timing constraint, hence schedule
+        # feasibility; reprs are value-based throughout the IR (the design
+        # cache fingerprints systems through them), so it must show.
+        gap = f" (gap>={self.min_gap})" if self.min_gap != 1 else ""
+        return f"[{self.guard}] {tag}{self.source}{gap}"
 
 
 @dataclass(frozen=True)

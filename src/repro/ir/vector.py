@@ -28,8 +28,10 @@ value-identical to the interpreter oracle):
   kernel and every host input value is a Python/numpy integer.  Addition
   and multiplication carry *exact* overflow checks (sign-flip test for add;
   ``c // a == b`` for mul, which cannot be fooled because a wrapped product
-  is off by a multiple of 2^64 while ``|a| < 2^63``).  Any overflow, or any
-  non-integer input, falls back transparently;
+  is off by a multiple of 2^64 while ``|a| < 2^63`` — except ``a == -1``,
+  whose quotient probe itself overflows at ``b == -2^63`` and is therefore
+  tested directly).  Any overflow, or any non-integer input, falls back
+  transparently;
 * **object fallback** — ``Fraction``, floats, tuples, symbolic values and
   custom ops run through :func:`numpy.frompyfunc` over object arrays: the
   exact per-element Python semantics of the interpreter, minus the
@@ -69,12 +71,21 @@ def _checked_add(a, b):
     return c
 
 
+_INT64_MIN = np.iinfo(np.int64).min
+
+
 def _checked_mul(a, b):
     c = a * b
-    nz = a != 0
+    # a == -1 would fool the quotient probe below: the only wrapping product
+    # is -1 * INT64_MIN, and there c // -1 overflows right back to b.  Test
+    # that one pair directly and keep -1 out of the division.
+    neg_one = a == -1
+    if np.any(neg_one & (b == _INT64_MIN)):
+        raise IntegerFallback("int64 overflow in mul")
+    probe = (a != 0) & ~neg_one
     # Exact: if c != a*b mathematically, they differ by a nonzero multiple
-    # of 2^64, so floor(c / a) cannot equal b (|a| < 2^63).
-    if np.any(c[nz] // a[nz] != b[nz]):
+    # of 2^64, so floor(c / a) cannot equal b (|a| < 2^63, a != -1).
+    if np.any(c[probe] // a[probe] != b[probe]):
         raise IntegerFallback("int64 overflow in mul")
     return c
 
@@ -87,6 +98,7 @@ def _checked_mac(acc, a, b):
 #: user-made op that merely *names* itself like a stock op off the fast
 #: path (``Op`` equality deliberately ignores ``fn``).
 _INT_KERNELS: dict[Op, tuple[Callable, Callable]] = {
+    IDENTITY: (IDENTITY.fn, lambda a: a),
     ADD: (ADD.fn, _checked_add),
     MIN_PLUS: (MIN_PLUS.fn, _checked_add),
     MUL: (MUL.fn, _checked_mul),
@@ -97,7 +109,7 @@ _INT_KERNELS: dict[Op, tuple[Callable, Callable]] = {
 
 
 def fused_int_kernel(h: Op, f: Op) -> Callable | None:
-    """Exact int64 kernel for ``hf(prev, x, y) = h(prev, f(x, y))``.
+    """Exact int64 kernel for ``hf(prev, *xs) = h(prev, f(*xs))``.
 
     Returns ``None`` unless *both* components carry a stock exact kernel
     (fn identity checked, as everywhere on the fast path) — a fused op
@@ -110,8 +122,8 @@ def fused_int_kernel(h: Op, f: Op) -> Callable | None:
         return None
     h_kernel, f_kernel = hk[1], fk[1]
 
-    def kernel(prev, x, y):
-        return h_kernel(prev, f_kernel(x, y))
+    def kernel(prev, *xs):
+        return h_kernel(prev, f_kernel(*xs))
 
     return kernel
 

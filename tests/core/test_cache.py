@@ -58,6 +58,37 @@ class TestCacheKey:
         b = cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL)
         assert a == b
 
+    def test_sensitive_to_link_min_gap(self):
+        # Regression: LinkRule.__repr__ omitted min_gap, so two systems
+        # differing only in a link's timing slack fingerprinted (and cache-
+        # keyed) identically — a cached infeasibility verdict for one could
+        # poison the other.  min_gap=0 (A5's intra-cycle read) vs the strict
+        # default is exactly the feasibility-affecting bit.
+        import dataclasses
+
+        from repro.core import system_fingerprint
+        from repro.ir import Equation, LinkRule, Module, RecurrenceSystem
+
+        def with_min_gap(gap):
+            base = dp_system()
+            modules = []
+            for m in base.modules.values():
+                equations = []
+                for eqn in m.equations.values():
+                    rules = tuple(
+                        dataclasses.replace(r, min_gap=gap)
+                        if isinstance(r, LinkRule) and r.label == "A5" else r
+                        for r in eqn.rules)
+                    equations.append(Equation(eqn.var, rules, eqn.where))
+                modules.append(Module(m.name, m.dims, m.domain, equations))
+            return RecurrenceSystem(base.name, modules, base.outputs,
+                                    base.input_names, base.params)
+
+        strict, relaxed = with_min_gap(1), with_min_gap(0)
+        assert system_fingerprint(strict) != system_fingerprint(relaxed)
+        assert (cache_key(strict, {"n": 8}, FIG1_UNIDIRECTIONAL)
+                != cache_key(relaxed, {"n": 8}, FIG1_UNIDIRECTIONAL))
+
     def test_sensitive_to_every_component(self):
         base = cache_key(dp_system(), {"n": 8}, FIG1_UNIDIRECTIONAL,
                          SynthesisOptions())

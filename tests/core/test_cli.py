@@ -107,6 +107,35 @@ class TestSweep:
             main(["sweep", "--n", "six"])
 
 
+class TestFuzz:
+    def test_short_generate_run(self, tmp_path, capsys):
+        assert main(["fuzz", "--examples", "3", "--seed", "5",
+                     "--corpus-dir", str(tmp_path / "corpus")]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz:" in out and "seed 5" in out
+        assert "corpus: 0 artifacts" in out   # clean run saves nothing
+
+    def test_replay_empty_corpus(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay",
+                     "--corpus-dir", str(tmp_path)]) == 0
+        assert "no corpus artifacts" in capsys.readouterr().out
+
+    def test_replay_pinned_artifact(self, tmp_path, capsys):
+        from repro.fuzz import CaseDescriptor, save_artifact
+
+        desc = CaseDescriptor(
+            n=5, lo=1, hi=1, args=((1, (0, 0)), (0, (0, 0))),
+            body="min_plus", combine="min", pool=(3, -1),
+            interconnect="fig1")
+        save_artifact(tmp_path, desc, expect="ok")
+        assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 artifacts, 0 failing" in out
+        # A wrong pin turns into a non-zero exit.
+        save_artifact(tmp_path, desc, expect="infeasible")
+        assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)]) == 1
+
+
 class TestExplore:
     def test_backward_table(self, capsys):
         assert main(["explore", "--recurrence", "backward",

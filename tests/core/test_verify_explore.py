@@ -104,6 +104,12 @@ class TestVerifyDesign:
         assert batched.seeds_checked == looped.seeds_checked == 5
         assert batched.machine_stats == looped.machine_stats
 
+    def test_empty_seed_sequence_rejected(self):
+        # Regression: seeds=[] used to check zero inputs and report OK — a
+        # vacuous pass indistinguishable from a real one.
+        with pytest.raises(ValueError, match="seeds"):
+            verify_design(w2_design(), lambda seed: INPUTS, seeds=[])
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             verify_design(w2_design(), INPUTS, engine="quantum")

@@ -1,0 +1,82 @@
+"""The fuzz case family: descriptors, spec construction, and the oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import restructure
+from repro.fuzz import CaseDescriptor, build_inputs, build_spec, seed_value
+from repro.fuzz.oracle import OracleReject, evaluate
+from repro.ir import run_system
+
+TWO_CHAIN = ((1, (0, 0)), (0, (0, 0)))
+
+
+def small(**overrides) -> CaseDescriptor:
+    base = dict(n=5, lo=1, hi=1, args=TWO_CHAIN, body="min_plus",
+                combine="min", pool=(3, -1, 4, 1), interconnect="fig1")
+    base.update(overrides)
+    return CaseDescriptor(**base)
+
+
+class TestDescriptor:
+    def test_roundtrips_through_json_dict(self):
+        desc = small(pool=(Fraction(1, 3), -(2 ** 63), 10 ** 25, 7))
+        clone = CaseDescriptor.from_dict(desc.to_dict())
+        assert clone == desc
+        assert isinstance(clone.pool[0], Fraction)
+        assert isinstance(clone.pool[1], int)
+
+    def test_rejects_unknown_ops(self):
+        with pytest.raises(ValueError):
+            small(body="frobnicate")
+        with pytest.raises(ValueError):
+            small(combine="frobnicate")
+
+    def test_rejects_arity_mismatch(self):
+        # "dbl" is unary; a two-argument shape must not pair with it.
+        with pytest.raises(ValueError):
+            small(body="dbl")
+
+    def test_rejects_empty_pool_and_tiny_n(self):
+        with pytest.raises(ValueError):
+            small(pool=())
+        with pytest.raises(ValueError):
+            small(n=2)
+
+    def test_seed_values_cycle_through_pool(self):
+        pool = (10, 20, 30)
+        values = {seed_value(pool, i, j)
+                  for i in range(1, 6) for j in range(1, 6)}
+        assert values == set(pool)
+
+
+class TestSpecAgainstOracle:
+    def run_pipeline(self, desc):
+        spec = build_spec(desc)
+        system = restructure(spec, params={"n": desc.n})
+        return run_system(system, {"n": desc.n}, build_inputs(desc))
+
+    def test_two_chain_case_matches_oracle(self):
+        desc = small()
+        assert self.run_pipeline(desc) == evaluate(desc)
+
+    def test_single_chain_case_matches_oracle(self):
+        desc = small(args=((1, (0, 0)), (1, (0, 0))), body="max",
+                     combine="max")
+        assert self.run_pipeline(desc) == evaluate(desc)
+
+    def test_unary_case_matches_oracle(self):
+        desc = small(args=((0, (0, 0)),), body="neg", combine="add")
+        assert self.run_pipeline(desc) == evaluate(desc)
+
+    def test_wider_bounds_match_oracle(self):
+        desc = small(n=7, lo=2, hi=2)
+        assert self.run_pipeline(desc) == evaluate(desc)
+
+    def test_oracle_rejects_unclosed_offsets(self):
+        # The offset-carrying arg shape escapes the computation domain at
+        # the boundary; the oracle refuses instead of inventing values.
+        desc = small(args=((1, (0, 0)), (1, (1, 0))))
+        with pytest.raises(OracleReject):
+            evaluate(desc)

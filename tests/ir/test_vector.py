@@ -172,6 +172,19 @@ class TestDtypePolicy:
         fake_min = make_op("min", 2, lambda a, b: a)
         assert fused_int_kernel(fake_min, MIN_PLUS) is None
 
+    def test_fused_kernel_accepts_any_body_arity(self):
+        # Restructured systems fuse combine ∘ body where the body may be
+        # unary (IDENTITY) or binary; the fused kernel is variadic.
+        from repro.ir import IDENTITY, MIN, MIN_PLUS
+
+        unary = fused_int_kernel(MIN, IDENTITY)
+        assert unary is not None
+        prev = np.array([5, 1], dtype=np.int64)
+        x = np.array([3, 4], dtype=np.int64)
+        assert unary(prev, x).tolist() == [3, 1]
+        binary = fused_int_kernel(MIN, MIN_PLUS)
+        assert binary(prev, x, x).tolist() == [5, 1]
+
     def test_fused_kernel_overflow_falls_back_exactly(self):
         from repro.problems import dp_inputs, dp_system
 
@@ -209,6 +222,24 @@ class TestCheckedKernels:
         a = np.array([0, 3], dtype=np.int64)
         b = np.array([2**62, 4], dtype=np.int64)
         assert _checked_mul(a, b).tolist() == [0, 12]
+
+    def test_mul_neg_one_times_int64_min_falls_back(self):
+        # Regression (found by 'repro fuzz'): -1 * INT64_MIN wraps back to
+        # INT64_MIN, and the quotient probe c // -1 overflows identically,
+        # so the old check declared the wrapped product exact.
+        int64_min = np.iinfo(np.int64).min
+        for a, b in [(-1, int64_min), (int64_min, -1)]:
+            with pytest.raises(IntegerFallback):
+                _checked_mul(np.array([a], dtype=np.int64),
+                             np.array([b], dtype=np.int64))
+
+    def test_mul_neg_one_in_range_stays_exact(self):
+        # The largest products involving -1 that still fit must not be
+        # kicked off the fast path.
+        int64_min = np.iinfo(np.int64).min
+        a = np.array([-1, int64_min + 1, -1], dtype=np.int64)
+        b = np.array([int64_min + 1, -1, 9], dtype=np.int64)
+        assert _checked_mul(a, b).tolist() == [2**63 - 1, 2**63 - 1, -9]
 
 
 class TestBatchAxis:
