@@ -14,12 +14,24 @@ without breaking users::
 
 Surface groups:
 
-* single-shot synthesis — :func:`synthesize`, :func:`explore_uniform`,
+* single-shot synthesis — :func:`synthesize` (accepts a canonic
+  :class:`~repro.ir.program.RecurrenceSystem` or a high-level spec, and an
+  optional ``pipeline=``), :func:`explore_uniform`,
   :func:`explore_interconnects`, :func:`verify_design` (single input
-  binding or multi-seed batch; engines ``"compiled"``, ``"interpreted"``,
-  ``"vector"`` — see :data:`ENGINES`), :class:`SynthesisOptions`,
+  binding or multi-seed batch), :class:`SynthesisOptions`,
   :class:`Design`, :func:`random_inputs` / :func:`input_factory` for
   seeded problem instances;
+* execution engines — the :class:`Engine` registry (``"compiled"``,
+  ``"interpreted"``, ``"vector"``; members are str subclasses, so plain
+  strings keep working everywhere), :func:`coerce_engine`,
+  :data:`ENGINES`;
+* pass pipeline — :class:`Pass`, :class:`PassPipeline`,
+  :class:`PipelineState`, :func:`default_pipeline` (the exact lowering
+  :func:`synthesize` runs), :func:`make_pass` / :func:`available_passes`
+  (registry incl. the opt-in ``cse`` pass), :func:`run_pipeline` for
+  partial lowerings with access to intermediate state, and the rewrite
+  layer under it — :class:`RewritePattern`, :func:`apply_patterns`,
+  :func:`system_to_ir` / :func:`ir_to_system` / :func:`print_ir`;
 * batch sweeps — :class:`SweepSpec`, :func:`run_sweep`,
   :class:`SweepReport`, :data:`PROBLEM_BUILDERS`;
 * persistent cache — :class:`DesignCache`, :func:`cache_key`,
@@ -72,7 +84,22 @@ from repro.core.explore import (
 )
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
-from repro.core.verify import ENGINES, VerificationReport, verify_design
+from repro.core.verify import VerificationReport, verify_design
+from repro.machine.engines import ENGINES, Engine, coerce_engine
+from repro.rewrite import (
+    Pass,
+    PassPipeline,
+    PipelineState,
+    RewritePattern,
+    apply_patterns,
+    available_passes,
+    default_pipeline,
+    ir_to_system,
+    make_pass,
+    print_ir,
+    run_pipeline,
+    system_to_ir,
+)
 from repro.fuzz import (
     CaseDescriptor,
     CaseOutcome,
@@ -104,6 +131,7 @@ __all__ = [
     "Design",
     "DesignCache",
     "ENGINES",
+    "Engine",
     "EventLog",
     "EventSink",
     "ExploredDesign",
@@ -115,6 +143,10 @@ __all__ = [
     "NoScheduleExists",
     "NoSpaceMapExists",
     "PROBLEM_BUILDERS",
+    "Pass",
+    "PassPipeline",
+    "PipelineState",
+    "RewritePattern",
     "RunRecord",
     "STOCK_INTERCONNECTS",
     "SweepJob",
@@ -125,25 +157,34 @@ __all__ = [
     "SynthesisOptions",
     "TRACER",
     "VerificationReport",
+    "apply_patterns",
+    "available_passes",
     "cache_key",
     "cell_utilization",
+    "coerce_engine",
     "default_cache_dir",
+    "default_pipeline",
     "default_workers",
     "explore_interconnects",
     "explore_uniform",
     "fuzz",
     "input_factory",
+    "ir_to_system",
     "load_corpus",
     "load_run_record",
+    "make_pass",
     "metrics_dir",
     "pareto_front",
+    "print_ir",
     "random_inputs",
     "replay_corpus",
     "resolve_interconnect",
     "run_case",
+    "run_pipeline",
     "run_sweep",
     "synthesize",
     "system_fingerprint",
+    "system_to_ir",
     "verify_design",
     "write_run_record",
 ]

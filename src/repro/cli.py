@@ -33,8 +33,11 @@ from dataclasses import asdict
 from pathlib import Path
 
 from repro.api import (
+    ENGINES,
     SweepSpec,
     SynthesisOptions,
+    available_passes,
+    default_pipeline,
     explore_uniform,
     resolve_interconnect,
     run_sweep,
@@ -110,8 +113,11 @@ def cmd_synthesize(args) -> int:
         params["s"] = args.s
     system = builder()
     options = SynthesisOptions(engine=args.engine)
+    pipeline = None
+    if args.print_ir_after:
+        pipeline = default_pipeline(print_ir_after=_csv(args.print_ir_after))
     design = synthesize(system, params, _interconnect(args.interconnect),
-                        options)
+                        options, pipeline=pipeline)
     print(module_table(design, f"{args.problem} on {args.interconnect} "
                                f"({params})"))
     print()
@@ -289,7 +295,8 @@ def cmd_fuzz(args) -> int:
     from repro.fuzz import fuzz, load_corpus, replay_corpus
 
     if args.replay:
-        results = replay_corpus(args.corpus_dir)
+        results = replay_corpus(args.corpus_dir,
+                                pipeline=not args.no_pipeline)
         if not results:
             print(f"no corpus artifacts under {args.corpus_dir}")
             return 0
@@ -311,7 +318,7 @@ def cmd_fuzz(args) -> int:
     report = fuzz(max_examples=args.examples, budget=args.budget,
                   seed=args.seed, corpus_dir=args.corpus_dir,
                   max_failures=args.max_failures, db_dir=args.db,
-                  log=print)
+                  log=print, pipeline=not args.no_pipeline)
     print(report.summary())
     known = len(load_corpus(args.corpus_dir))
     print(f"corpus: {known} artifacts under {args.corpus_dir}")
@@ -320,6 +327,19 @@ def cmd_fuzz(args) -> int:
                          "failures": len(report.failures),
                          "seed": report.seed}
     return 1 if report.failures else 0
+
+
+def cmd_passes(args) -> int:
+    rows = available_passes()
+    width = max(len(name) for name, _, _ in rows)
+    print("passes of the synthesis pipeline "
+          "(* = part of the default pipeline):")
+    for name, description, in_default in rows:
+        marker = "*" if in_default else " "
+        print(f"  {marker} {name:<{width}}  {description}")
+    print("\ncompose custom pipelines with repro.api.default_pipeline() "
+          "+ .with_pass(make_pass(name), before=/after=)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -351,13 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify S seeded random instances (seed..seed+S-1); "
                         "with --engine vector all S run in one batched "
                         "kernel pass")
-    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
+    p.add_argument("--engine", choices=list(ENGINES),
                    default="compiled",
                    help="machine execution engine for --verify: 'compiled' "
                         "lowers microcode to integer-indexed form (fast), "
                         "'interpreted' is the cycle-by-cycle oracle, "
                         "'vector' runs level-grouped ndarray kernels "
                         "(fastest; batches --seeds into one pass)")
+    p.add_argument("--print-ir-after", default=None, metavar="PASSES",
+                   help="print the system IR after the named passes "
+                        "(comma-separated; 'all' dumps after every pass; "
+                        "see 'repro passes' for names)")
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("explore", help="enumerate convolution designs",
@@ -398,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-seeds", type=int, default=0, metavar="S",
                    help="verify every solved design on S seeded random "
                         "instances (0 = skip)")
-    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
+    p.add_argument("--engine", choices=list(ENGINES),
                    default="vector",
                    help="execution engine for --verify-seeds; 'vector' "
                         "checks all seeds in one batched kernel pass")
@@ -416,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=4)
     p.add_argument("--seed", type=int, default=0,
                    help="RNG seed for the machine's host inputs")
-    p.add_argument("--engine", choices=["compiled", "interpreted", "vector"],
+    p.add_argument("--engine", choices=list(ENGINES),
                    default="compiled",
                    help="execution engine emitting the events (all three "
                         "produce the identical stream)")
@@ -428,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-record", default=None, metavar="FILE",
                    help="replay a persisted RunRecord instead of tracing")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "passes", parents=[common],
+        help="list the synthesis pipeline's passes (default and opt-in)")
+    p.set_defaults(fn=cmd_passes)
 
     p = sub.add_parser("figures", help="print both DP arrays",
                        parents=[common])
@@ -467,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", action="store_true",
                    help="re-run every corpus artifact instead of "
                         "generating new examples")
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="skip the pass-pipeline fourth comparison point "
+                        "of each case (faster, less coverage)")
     p.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -1,7 +1,11 @@
 """End-to-end mapping of a (possibly multi-module) recurrence system onto a
 VLSI array — Sections II.B and V of the paper in one call.
 
-The pipeline:
+Since the pass-pipeline redesign this module is a thin entry point: the
+actual lowering lives in :mod:`repro.rewrite.pipeline` as named passes
+(``decompose-chains``, ``fuse-accumulators``, ``schedule``, ``allocate``,
+``lower-microcode``), each traced as a ``pass.<name>`` span.  The stages
+are unchanged from the historical one-shot implementation:
 
 1. extract per-module constant dependence matrices (D, or D_1/D_2);
 2. enumerate the global constraints from the link statements (A1–A5);
@@ -18,164 +22,62 @@ The pipeline:
 Escalation: if no solution exists with homogeneous schedules / zero space
 offsets, the solvers retry with offsets — "the design procedure is repeated"
 (Section II.B), automated.
+
+Callers needing a custom lowering pass ``pipeline=`` (built from
+:func:`repro.rewrite.default_pipeline` via ``with_pass``/``without_pass``,
+e.g. to insert the opt-in ``cse`` pass) or drive
+:func:`repro.rewrite.run_pipeline` directly for access to intermediate
+state.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping
 
 from repro.arrays.interconnect import Interconnect
 from repro.core.design import Design
-from repro.core.globals import link_constraints
 from repro.core.options import _UNSET, SynthesisOptions, resolve_options
-from repro.deps.extract import system_dependence_matrices
-from repro.ir.evaluate import structural_trace
-from repro.ir.program import RecurrenceSystem
-from repro.machine.errors import MachineError
-from repro.machine.microcode import compile_design
-from repro.schedule.multimodule import (
-    ModuleSchedulingProblem,
-    normalise_start,
-    solve_multimodule,
-)
-from repro.schedule.solver import NoScheduleExists
-from repro.space.multimodule import (
-    ModuleSpaceProblem,
-    NoSpaceMapExists,
-    solve_multimodule_space,
-)
-from repro.util.instrument import STATS
+from repro.ir.program import HighLevelSpec, RecurrenceSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rewrite.passes import PassPipeline
 
 
-def synthesize(system: RecurrenceSystem, params: Mapping[str, int],
+def synthesize(source: "RecurrenceSystem | HighLevelSpec",
+               params: Mapping[str, int],
                interconnect: Interconnect,
                options: SynthesisOptions | None = None, *,
+               pipeline: "PassPipeline | None" = None,
                time_bound=_UNSET,
                space_bound=_UNSET,
                schedule_offsets=_UNSET,
                space_offsets=_UNSET) -> Design:
-    """Synthesize a design for ``system`` on ``interconnect``.
+    """Synthesize a design for ``source`` on ``interconnect``.
+
+    ``source`` is a canonic :class:`RecurrenceSystem`, or a
+    :class:`HighLevelSpec` — the pipeline's ``decompose-chains`` pass then
+    performs the Section III restructuring first (what
+    :func:`repro.core.restructure.restructure` does standalone).
 
     Search bounds come from ``options`` (a :class:`SynthesisOptions`); the
     individual ``time_bound``/``space_bound``/``schedule_offsets``/
-    ``space_offsets`` kwargs are a deprecated shim kept for older callers.
-    ``space_offsets=None`` tries translation-free space maps first and
-    escalates to offsets in ``[-1, 1]`` only if needed.
+    ``space_offsets`` kwargs are retired and raise :class:`TypeError` with
+    a migration hint.  ``pipeline`` overrides the default pass pipeline;
+    it must still produce a design (end in ``lower-microcode``).
     """
     opts = resolve_options(options, time_bound, space_bound,
                            schedule_offsets, space_offsets)
-    time_bound = opts.time_bound
-    space_bound = opts.space_bound
-    schedule_offsets = opts.schedule_offsets
-    space_offsets = opts.space_offsets
-    params = dict(params)
-    deps = system_dependence_matrices(system)
-    constraints = link_constraints(system, params)
+    # Imported here, not at module top: repro.rewrite.pipeline imports the
+    # restructurer through the repro.core package, which imports us.
+    from repro.rewrite.pipeline import run_pipeline
 
-    points = {}
-    problems = []
-    with STATS.stage("synthesize.enumerate"):
-        for name, module in system.modules.items():
-            arr = module.domain.points_array(params)
-            points[name] = arr
-            problems.append(ModuleSchedulingProblem(name, module.dims,
-                                                    deps[name], arr))
-
-    with STATS.stage("synthesize.schedule"):
-        try:
-            time_solution = solve_multimodule(problems, constraints,
-                                              bound=time_bound,
-                                              offsets=schedule_offsets)
-        except NoScheduleExists:
-            if tuple(schedule_offsets) == (0,):
-                time_solution = solve_multimodule(
-                    problems, constraints, bound=time_bound,
-                    offsets=range(-time_bound, time_bound + 1))
-            else:
-                raise
-    schedules = normalise_start(time_solution.schedules, problems, start=0)
-
-    decomposer = interconnect.decomposer()
-
-    def offsets_for(name: str, plan: str) -> Sequence[int]:
-        if space_offsets is not None:
-            return space_offsets
-        if plan == "plain":
-            return (0,)
-        # "translated" plan: allow small offsets for low-dimensional modules
-        # (combine statements) where a translation can fold their cells onto
-        # another module's region — the Section VI design maps A5 to
-        # cell (i+1, i).  High-dimensional modules keep offset 0: a common
-        # translation never reduces their own cell count.
-        module = system.modules[name]
-        if len(module.dims) <= interconnect.label_dim:
-            return (-1, 0, 1)
-        return (0,)
-
-    plans = ["plain"] if space_offsets is not None else ["plain", "translated"]
-    best = None
-    last_error: NoSpaceMapExists | None = None
-
-    check_trace = None
-
-    def lowering_failure(candidate) -> NoSpaceMapExists | None:
-        """Physical feasibility of a candidate beyond the solvers' model.
-
-        The space solver enforces adjacency and conflict-freedom but not
-        link *bandwidth*: a minimal-cells solution can still need one
-        physical channel twice in the same cycle.  Compile the candidate's
-        placement and routing over a value-free trace and reject any that
-        cannot be lowered."""
-        nonlocal check_trace
-        if check_trace is None:
-            check_trace = structural_trace(system, params)
-        try:
-            compile_design(check_trace, schedules, candidate.maps, decomposer)
-        except MachineError as exc:
-            return NoSpaceMapExists(
-                f"space solution does not lower: {type(exc).__name__}: {exc}")
-        return None
-
-    with STATS.stage("synthesize.space"):
-        for plan in plans:
-            space_problems = [
-                ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
-                                   points[name], schedules[name],
-                                   bound=space_bound,
-                                   offsets=offsets_for(name, plan))
-                for name in system.modules]
-            try:
-                candidate = solve_multimodule_space(
-                    space_problems, constraints, decomposer,
-                    interconnect.label_dim)
-            except NoSpaceMapExists as exc:
-                last_error = exc
-                continue
-            failure = lowering_failure(candidate)
-            if failure is not None:
-                last_error = failure
-                continue
-            if best is None or candidate.total_cells < best.total_cells:
-                best = candidate
-        if best is None:
-            # Final escalation: offsets everywhere.
-            space_problems = [
-                ModuleSpaceProblem(name, system.modules[name].dims, deps[name],
-                                   points[name], schedules[name],
-                                   bound=space_bound, offsets=(-1, 0, 1))
-                for name in system.modules]
-            try:
-                best = solve_multimodule_space(
-                    space_problems, constraints, decomposer,
-                    interconnect.label_dim)
-            except NoSpaceMapExists as exc:
-                error = last_error if last_error is not None else exc
-                raise error from exc
-            failure = lowering_failure(best)
-            if failure is not None:
-                raise failure
-    space_solution = best
-
-    return Design(system=system, params=params, interconnect=interconnect,
-                  schedules=schedules, space_maps=space_solution.maps,
-                  constraints=constraints)
+    state = run_pipeline(source, params, interconnect, opts,
+                         pipeline=pipeline)
+    if state.design is None:
+        names = pipeline.names if pipeline is not None else ()
+        raise ValueError(
+            f"pipeline {list(names)} did not produce a design; custom "
+            "pipelines passed to synthesize() must end with the "
+            "'lower-microcode' pass (use repro.rewrite.run_pipeline for "
+            "partial lowerings)")
+    return state.design

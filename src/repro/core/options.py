@@ -4,14 +4,16 @@
 arguments (``time_bound``, ``space_bound``, ``schedule_offsets``,
 ``space_offsets``).  The batch engine needs the same knobs as a hashable,
 serialisable value — they are part of the design-cache key — so they are
-consolidated here.  The old kwargs still work through a deprecation shim
-(see :func:`resolve_options`).
+consolidated here.  The old kwargs went through one release of
+``DeprecationWarning`` and are now rejected with a :class:`TypeError`
+carrying the migration hint (see :func:`resolve_options`).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
+
+from repro.machine.engines import Engine, coerce_engine
 
 
 #: Sentinel distinguishing "not passed" from a meaningful ``None``
@@ -44,7 +46,7 @@ class SynthesisOptions:
     space_bound: int = 1
     schedule_offsets: tuple[int, ...] = (0,)
     space_offsets: tuple[int, ...] | None = None
-    engine: str = "compiled"
+    engine: Engine | str = "compiled"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedule_offsets",
@@ -56,10 +58,9 @@ class SynthesisOptions:
             raise ValueError(
                 f"bounds out of range: time_bound={self.time_bound}, "
                 f"space_bound={self.space_bound}")
-        if self.engine not in ("compiled", "interpreted", "vector"):
-            raise ValueError(
-                f"unknown engine {self.engine!r} "
-                "(expected 'compiled', 'interpreted' or 'vector')")
+        # Engine members are str subclasses; store the canonical string so
+        # equality/hash match options built from plain strings.
+        object.__setattr__(self, "engine", coerce_engine(self.engine))
 
     def to_dict(self) -> dict:
         """JSON-safe canonical form (part of the design-cache key).
@@ -90,11 +91,13 @@ def resolve_options(options: SynthesisOptions | None,
                     space_bound: object = _UNSET,
                     schedule_offsets: object = _UNSET,
                     space_offsets: object = _UNSET) -> SynthesisOptions:
-    """Merge an explicit options object with legacy kwargs.
+    """Reject the legacy loose kwargs with a migration hint.
 
-    Passing any legacy kwarg emits a :class:`DeprecationWarning`; passing
-    both an options object and a legacy kwarg is an error (the caller's
-    intent is ambiguous).
+    The ``time_bound``/``space_bound``/``schedule_offsets``/``space_offsets``
+    kwargs of :func:`~repro.core.nonuniform.synthesize` spent one release
+    as a :class:`DeprecationWarning` shim; they now raise :class:`TypeError`
+    naming the replacement so stragglers get an actionable error instead of
+    a silently narrowing surface.
     """
     legacy = {name: value for name, value in [
         ("time_bound", time_bound),
@@ -102,14 +105,11 @@ def resolve_options(options: SynthesisOptions | None,
         ("schedule_offsets", schedule_offsets),
         ("space_offsets", space_offsets),
     ] if value is not _UNSET}
-    if not legacy:
-        return options if options is not None else SynthesisOptions()
-    if options is not None:
+    if legacy:
+        kwargs = ", ".join(f"{name}={value!r}"
+                           for name, value in sorted(legacy.items()))
         raise TypeError(
-            "pass either a SynthesisOptions object or the legacy kwargs "
-            f"{sorted(legacy)}, not both")
-    warnings.warn(
-        f"synthesize(..., {', '.join(sorted(legacy))}=...) is deprecated; "
-        "pass options=SynthesisOptions(...) instead",
-        DeprecationWarning, stacklevel=3)
-    return SynthesisOptions(**legacy)
+            f"synthesize() no longer accepts the legacy kwargs "
+            f"{sorted(legacy)}; pass options=SynthesisOptions({kwargs}) "
+            "instead")
+    return options if options is not None else SynthesisOptions()

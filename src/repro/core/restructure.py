@@ -29,8 +29,7 @@ from repro.chains.decompose import ChainSpec, symbolic_chains
 from repro.core.coarse import CoarseTiming, coarse_timing
 from repro.ir.affine import AffineExpr, QuasiAffineExpr, var
 from repro.ir.indexset import Polyhedron, ge, le
-from repro.ir.ops import IDENTITY, Op, make_op
-from repro.ir.vector import fused_int_kernel
+from repro.ir.ops import IDENTITY, compose_accumulate
 from repro.ir.predicates import Predicate, TRUE, at_least, at_most
 from repro.ir.program import (
     HighLevelSpec,
@@ -42,18 +41,6 @@ from repro.ir.statements import ComputeRule, Equation, InputRule, LinkRule
 from repro.ir.variables import ExternalRef, Ref
 
 _CARRIER_NAMES = "abuvxyz"
-
-
-def fused_accumulate(h: Op, f: Op) -> Op:
-    """``hf(prev, ...) = h(prev, f(...))``.
-
-    When both components are stock ops the fused op also carries the
-    composed exact int64 kernel, so restructured systems stay on the
-    vector engine's array fast path (custom components keep the op on
-    the object path — :func:`fused_int_kernel` returns ``None``)."""
-    return make_op(f"{h.name}_after_{f.name}", f.arity + 1,
-                   lambda prev, *xs: h.fn(prev, f.fn(*xs)),
-                   int_kernel=fused_int_kernel(h, f))
 
 
 def _substitute_constraints(constraints, binding) -> list[AffineExpr]:
@@ -204,7 +191,7 @@ def _accumulator_equation(spec: HighLevelSpec, chain_index: int,
     prev_ref = Ref(name, tuple(
         var(n) + (step if n == spec.reduction_index else 0) for n in dims))
     rules = (
-        ComputeRule(fused_accumulate(spec.combine, spec.body),
+        ComputeRule(compose_accumulate(spec.combine, spec.body),
                     (prev_ref,) + carriers, guard=interior_guard),
         ComputeRule(spec.body, carriers, guard=TRUE),
     )

@@ -30,6 +30,8 @@ from repro.ir.evaluate import (
 )
 from repro.ir.vector import execute_program, lower_plan
 from repro.machine.compiled import lower
+from repro.machine.engines import ENGINES as _ENGINES
+from repro.machine.engines import Engine, coerce_engine
 from repro.machine.errors import CapacityError
 from repro.machine.microcode import compile_design
 from repro.machine.simulator import MachineStats, run
@@ -37,7 +39,7 @@ from repro.machine.vector import vectorize
 from repro.space.allocation import conflict_free, flows_realisable
 from repro.util.instrument import STATS
 
-ENGINES = ("compiled", "interpreted", "vector")
+ENGINES = _ENGINES  # historical name; the registry lives in machine.engines
 
 
 @dataclass
@@ -217,7 +219,7 @@ def _verify_vector(design: Design, report: VerificationReport, decomposer,
 
 def verify_design(design: Design, inputs,
                   strict_capacity: bool = True,
-                  engine: str = "compiled",
+                  engine: "Engine | str" = "compiled",
                   seeds=None) -> VerificationReport:
     """Run all symbolic and physical checks; never raises on a *design*
     failure (the report carries it), only on infrastructure errors.
@@ -242,9 +244,7 @@ def verify_design(design: Design, inputs,
     ``(seeds, nodes)`` arrays — multi-seed verification at roughly the cost
     of one execution; the other engines loop.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r} "
-                         "(expected 'compiled', 'interpreted' or 'vector')")
+    engine = coerce_engine(engine)
     report = VerificationReport()
     decomposer = design.interconnect.decomposer()
     cache = design._exec_cache if engine != "interpreted" else None

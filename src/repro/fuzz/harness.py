@@ -18,6 +18,12 @@ Stages, in order, with the outcome taxonomy each can produce:
 6. **engines** — all three engines run the compiled design; each must
    reproduce the oracle's values exactly *and* emit the byte-identical
    canonical event stream (``canonical_order`` then JSONL).
+7. **pipeline** (on by default, ``pipeline=False`` opts out) — the fourth
+   comparison point: the case is round-tripped *again* through the pass
+   pipeline from its high-level spec (exercising the ``decompose-chains``
+   ingest pass), and the resulting design dict, machine values and
+   canonical compiled event stream must match the system-entry run byte
+   for byte.
 
 Any unexpected exception anywhere is a ``bug`` — error-path hygiene is
 part of the contract being fuzzed.
@@ -40,6 +46,7 @@ from repro.ir.evaluate import run_system, trace_execution
 from repro.machine.microcode import compile_design
 from repro.machine.simulator import run
 from repro.obs.events import EventLog, canonical_order
+from repro.rewrite.pipeline import run_pipeline
 from repro.schedule.solver import NoScheduleExists
 from repro.space.multimodule import NoSpaceMapExists
 
@@ -76,7 +83,7 @@ def _diff(results, oracle, limit: int = 3) -> str:
     return f"first diffs (key, got, want): {pairs}"
 
 
-def run_case(desc: CaseDescriptor) -> CaseOutcome:
+def run_case(desc: CaseDescriptor, pipeline: bool = True) -> CaseOutcome:
     """Round-trip ``desc``; never raises — failures become outcomes."""
     try:
         oracle = evaluate(desc)
@@ -143,4 +150,37 @@ def run_case(desc: CaseDescriptor) -> CaseOutcome:
         return CaseOutcome("bug", "events",
                            f"canonical event streams differ across engines "
                            f"(lines per engine: {sizes})")
+
+    if pipeline:
+        # Fourth comparison point: the same case again, through the pass
+        # pipeline from its *spec* (decompose-chains does the restructuring
+        # this time).  The one-shot path above already restructured the
+        # same spec, so any infeasibility here is a divergence, not an
+        # honest reject.
+        try:
+            state = run_pipeline(spec, params, interconnect, options)
+            pdesign = state.design
+            if pdesign.to_dict() != design.to_dict():
+                return CaseOutcome(
+                    "bug", "pipeline",
+                    "pass-pipeline design differs from the system-entry "
+                    "design")
+            ptrace = trace_execution(pdesign.system, params, inputs)
+            pmc = compile_design(ptrace, pdesign.schedules,
+                                 pdesign.space_maps,
+                                 interconnect.decomposer())
+            log = EventLog()
+            machine = run(pmc, ptrace, inputs, strict=True,
+                          engine="compiled", sink=log)
+            if machine.results != oracle:
+                return CaseOutcome("bug", "pipeline",
+                                   _diff(machine.results, oracle))
+            log.events = canonical_order(log.events)
+            if log.to_jsonl() != streams["compiled"]:
+                return CaseOutcome(
+                    "bug", "pipeline",
+                    "pass-pipeline canonical event stream differs from the "
+                    "system-entry compiled stream")
+        except Exception:
+            return CaseOutcome("bug", "pipeline", traceback.format_exc())
     return CaseOutcome("ok")

@@ -29,6 +29,12 @@ class Op:
     fn: Callable = field(compare=False, hash=False)
     int_kernel: Callable | None = field(
         default=None, compare=False, hash=False)
+    #: For ops built by :func:`compose_accumulate`: the ``(h, f)`` pair the
+    #: composite was assembled from.  Rewrite patterns use it to derive an
+    #: exact array kernel (``repro.rewrite.patterns.FuseAccumulatorKernels``)
+    #: without any bespoke wiring at the construction site.
+    components: "tuple[Op, ...] | None" = field(
+        default=None, compare=False, hash=False)
 
     def __call__(self, *args):
         if len(args) != self.arity:
@@ -65,3 +71,17 @@ def make_op(name: str, arity: int, fn: Callable,
     exact int64 array kernel so the vector engine's fast path applies
     (see :func:`repro.ir.vector.fused_int_kernel` for composing one)."""
     return Op(name, arity, fn, int_kernel)
+
+
+def compose_accumulate(h: Op, f: Op) -> Op:
+    """The accumulator composite ``hf(prev, *xs) = h(prev, f(*xs))``.
+
+    The result carries no array kernel of its own — it records its
+    ``components`` so the ``fuse-accumulators`` rewrite pattern of the pass
+    pipeline can attach the composed exact int64 kernel when (and only
+    when) both components are stock ops.  Construction sites therefore
+    stay free of vector-engine plumbing.
+    """
+    return Op(f"{h.name}_after_{f.name}", f.arity + 1,
+              lambda prev, *xs: h.fn(prev, f.fn(*xs)),
+              components=(h, f))

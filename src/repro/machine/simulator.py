@@ -29,6 +29,7 @@ from repro.util.lazyimport import lazy_import
 nx = lazy_import("networkx")
 
 from repro.ir.evaluate import SystemTrace, ValueKey
+from repro.machine.engines import Engine, coerce_engine
 from repro.machine.errors import CapacityError, MissingOperandError
 from repro.machine.microcode import Microcode
 from repro.obs.events import EventSink, MachineEvent
@@ -111,7 +112,7 @@ def _last_uses(mc: Microcode) -> dict[tuple[Cell, ValueKey], int]:
 def run(mc: Microcode, trace: SystemTrace,
         inputs: Mapping[str, Callable], strict: bool = True,
         reclaim_registers: bool = True,
-        engine: str = "interpreted",
+        engine: "Engine | str" = "interpreted",
         sink: "EventSink | None" = None) -> MachineRun:
     """Execute the microcode cycle by cycle.
 
@@ -133,6 +134,7 @@ def run(mc: Microcode, trace: SystemTrace,
     :class:`~repro.obs.events.MachineEvent` (the compiled and vector
     engines derive the identical stream structurally).
     """
+    engine = coerce_engine(engine)
     if engine == "compiled":
         from repro.machine.compiled import run_compiled
 
@@ -143,9 +145,6 @@ def run(mc: Microcode, trace: SystemTrace,
 
         return run_vector(mc, trace, inputs, strict=strict,
                           reclaim_registers=reclaim_registers, sink=sink)
-    if engine != "interpreted":
-        raise ValueError(f"unknown engine {engine!r} "
-                         "(expected 'compiled', 'interpreted' or 'vector')")
     # Register files spring into being on first write: explicit .get()
     # probes keep cells that merely relay or read from materialising empty
     # files (a defaultdict here used to inflate the per-cycle pressure scan).

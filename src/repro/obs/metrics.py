@@ -159,6 +159,7 @@ def write_run_record(record: RunRecord,
 
 
 def load_run_record(path: "str | os.PathLike") -> RunRecord:
+    """Load a :class:`RunRecord` previously written as JSON."""
     with open(path, "r", encoding="utf-8") as fh:
         return RunRecord.from_dict(json.load(fh))
 

@@ -1,0 +1,399 @@
+"""The typed rewrite IR: immutable, hashable op nodes with regions.
+
+A :class:`RecurrenceSystem` is a mutable container built for evaluation;
+rewriting wants the opposite — a value-semantic tree that can be hashed,
+compared, pattern-matched and functionally updated without aliasing
+surprises.  This module provides that tree, in the op/region style of
+MLIR-like IRs:
+
+* an :class:`IROp` is a named node with an attribute dictionary and zero
+  or more :class:`Region`\\ s of child ops;
+* ops and regions are deeply immutable; equality and hashing are
+  structural, with attribute values identified by their value-based
+  ``repr`` (the same identity the design cache fingerprints through, so
+  two ops are equal exactly when the cache could not tell them apart);
+* def-use is symbolic: each op declares the qualified symbols
+  (``module::var``) it defines and uses, and :func:`verify_ir` checks the
+  whole tree resolves.
+
+The op set covers the chain → module → microcode middle of the pipeline:
+
+==================  ========================================================
+op name             meaning
+==================  ========================================================
+``design.system``   root; regions = (modules, outputs)
+``design.module``   one recurrence module; region = equations
+``design.equation`` one variable's defining rules; region = rules
+``rule.compute``    ``op(operands...)`` under a guard (canonic-form body)
+``rule.link``       inter-module transfer (the paper's A1–A5 statements)
+``rule.input``      host boundary value
+``design.output``   declares a result of the system
+==================  ========================================================
+
+Attribute leaves are the existing frozen value objects of :mod:`repro.ir`
+(:class:`~repro.ir.indexset.Polyhedron`, predicates, ops, references), so
+:func:`system_to_ir` / :func:`ir_to_system` round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.ir.ops import Op
+from repro.ir.program import Module, OutputSpec, RecurrenceSystem
+from repro.ir.statements import ComputeRule, Equation, InputRule, LinkRule
+from repro.ir.variables import ExternalRef, Ref
+
+
+def _attr_identity(value: object) -> tuple[str, str]:
+    """Value identity of an attribute: type name + value-based repr.
+
+    Every IR leaf in this codebase carries a value-faithful ``repr`` (the
+    persistent design cache fingerprints whole systems through reprs), so
+    this is a sound structural identity even for objects that do not
+    implement ``__hash__``/``__eq__`` themselves (e.g. ``Polyhedron``).
+    """
+    return (type(value).__name__, repr(value))
+
+
+class Region:
+    """An ordered, immutable sequence of child ops."""
+
+    __slots__ = ("ops", "_hash")
+
+    def __init__(self, ops: Sequence["IROp"] = ()) -> None:
+        object.__setattr__(self, "ops", tuple(ops))
+        object.__setattr__(self, "_hash", hash(self.ops))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Region is immutable")
+
+    def __iter__(self) -> Iterator["IROp"]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Region) and self.ops == other.ops
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Region({len(self.ops)} ops)"
+
+
+class IROp:
+    """One immutable op node: ``name`` + attributes + regions.
+
+    ``attrs`` is exposed as a read-only mapping; updates go through
+    :meth:`with_attrs` / :meth:`with_regions`, which return new nodes and
+    share all untouched structure.
+    """
+
+    __slots__ = ("name", "_attrs", "regions", "_key", "_hash")
+
+    def __init__(self, name: str, attrs: Mapping[str, object] | None = None,
+                 regions: Sequence[Region] = ()) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_attrs",
+                           tuple(sorted((attrs or {}).items())))
+        object.__setattr__(self, "regions", tuple(regions))
+        key = (name,
+               tuple((k, _attr_identity(v)) for k, v in self._attrs),
+               self.regions)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("IROp is immutable")
+
+    # -- attributes ----------------------------------------------------------
+
+    @property
+    def attrs(self) -> dict[str, object]:
+        return dict(self._attrs)
+
+    def attr(self, key: str, default: object = None) -> object:
+        for k, v in self._attrs:
+            if k == key:
+                return v
+        return default
+
+    def with_attrs(self, **updates: object) -> "IROp":
+        attrs = self.attrs
+        attrs.update(updates)
+        return IROp(self.name, attrs, self.regions)
+
+    def with_regions(self, regions: Sequence[Region]) -> "IROp":
+        return IROp(self.name, self.attrs, regions)
+
+    # -- structural identity -------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IROp) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = self.attr("name") or self.attr("var") or ""
+        tag = f" @{label}" if label else ""
+        return (f"IROp({self.name}{tag}, {len(self._attrs)} attrs, "
+                f"{sum(len(r) for r in self.regions)} children)")
+
+    # -- def-use -------------------------------------------------------------
+
+    def defined_symbols(self) -> tuple[str, ...]:
+        """Qualified ``module::var`` symbols this subtree defines."""
+        if self.name == "design.system":
+            out: list[str] = []
+            for module in self.regions[0]:
+                out.extend(module.defined_symbols())
+            return tuple(out)
+        if self.name == "design.module":
+            mod = self.attr("name")
+            return tuple(f"{mod}::{eqn.attr('var')}"
+                         for eqn in self.regions[0])
+        return ()
+
+    def used_symbols(self, module: str = "") -> tuple[str, ...]:
+        """Qualified symbols this op reads (rules and outputs only).
+
+        ``module`` qualifies module-local references of compute rules.
+        """
+        if self.name == "rule.compute":
+            return tuple(f"{module}::{ref.var}"
+                         for ref in self.attr("operands"))
+        if self.name == "rule.link":
+            src = self.attr("source")
+            return (f"{src.module}::{src.var}",)
+        if self.name == "design.output":
+            return (f"{self.attr('module')}::{self.attr('var')}",)
+        return ()
+
+
+def walk(op: IROp) -> Iterator[IROp]:
+    """Pre-order traversal of the op tree."""
+    yield op
+    for region in op.regions:
+        for child in region:
+            yield from walk(child)
+
+
+# -- typed builders ----------------------------------------------------------
+
+def compute_op(rule: ComputeRule) -> IROp:
+    return IROp("rule.compute", {"op": rule.op, "operands": rule.operands,
+                                 "guard": rule.guard})
+
+
+def link_op(rule: LinkRule) -> IROp:
+    return IROp("rule.link", {"source": rule.source, "guard": rule.guard,
+                              "label": rule.label, "min_gap": rule.min_gap})
+
+
+def input_op(rule: InputRule) -> IROp:
+    return IROp("rule.input", {"input_name": rule.input_name,
+                               "index": rule.index, "guard": rule.guard})
+
+
+def equation_op(eqn: Equation) -> IROp:
+    rules = []
+    for rule in eqn.rules:
+        if isinstance(rule, ComputeRule):
+            rules.append(compute_op(rule))
+        elif isinstance(rule, LinkRule):
+            rules.append(link_op(rule))
+        elif isinstance(rule, InputRule):
+            rules.append(input_op(rule))
+        else:  # pragma: no cover - closed rule union
+            raise TypeError(f"unknown rule type {type(rule).__name__}")
+    return IROp("design.equation", {"var": eqn.var, "where": eqn.where},
+                (Region(rules),))
+
+
+def module_op(module: Module) -> IROp:
+    body = Region([equation_op(module.equations[var])
+                   for var in module.equations])
+    return IROp("design.module",
+                {"name": module.name, "dims": module.dims,
+                 "domain": module.domain},
+                (body,))
+
+
+def output_op(out: OutputSpec) -> IROp:
+    return IROp("design.output", {"module": out.module, "var": out.var,
+                                  "domain": out.domain, "key": out.key})
+
+
+def system_to_ir(system: RecurrenceSystem) -> IROp:
+    """Lift a recurrence system into the rewrite IR (lossless)."""
+    modules = Region([module_op(m) for m in system.modules.values()])
+    outputs = Region([output_op(o) for o in system.outputs])
+    return IROp("design.system",
+                {"name": system.name, "input_names": system.input_names,
+                 "params": system.params},
+                (modules, outputs))
+
+
+# -- lowering back to the evaluation containers ------------------------------
+
+def _rule_from_op(op: IROp):
+    if op.name == "rule.compute":
+        return ComputeRule(op.attr("op"), op.attr("operands"),
+                           guard=op.attr("guard"))
+    if op.name == "rule.link":
+        return LinkRule(op.attr("source"), guard=op.attr("guard"),
+                        label=op.attr("label"), min_gap=op.attr("min_gap"))
+    if op.name == "rule.input":
+        return InputRule(op.attr("input_name"), op.attr("index"),
+                         guard=op.attr("guard"))
+    raise IRVerificationError(f"expected a rule op, got {op.name!r}")
+
+
+def ir_to_system(root: IROp) -> RecurrenceSystem:
+    """Materialize the evaluation-side :class:`RecurrenceSystem`.
+
+    Inverse of :func:`system_to_ir`: attribute leaves are carried through
+    unchanged, so a round trip reproduces the original system exactly
+    (same fingerprint, same behaviour on all engines).
+    """
+    if root.name != "design.system":
+        raise IRVerificationError(
+            f"root must be design.system, got {root.name!r}")
+    modules = []
+    for mop in root.regions[0]:
+        equations = []
+        for eop in mop.regions[0]:
+            rules = tuple(_rule_from_op(rop) for rop in eop.regions[0])
+            equations.append(Equation(eop.attr("var"), rules,
+                                      where=eop.attr("where")))
+        modules.append(Module(mop.attr("name"), mop.attr("dims"),
+                              mop.attr("domain"), equations))
+    outputs = [OutputSpec(oop.attr("module"), oop.attr("var"),
+                          oop.attr("domain"), oop.attr("key"))
+               for oop in root.regions[1]]
+    return RecurrenceSystem(root.attr("name"), modules, outputs,
+                            input_names=root.attr("input_names"),
+                            params=root.attr("params"))
+
+
+# -- structural verification -------------------------------------------------
+
+class IRVerificationError(Exception):
+    """The op tree is structurally invalid (unknown op, broken def-use)."""
+
+
+#: op name -> (required attribute names, required region count)
+OP_SIGNATURES: dict[str, tuple[tuple[str, ...], int]] = {
+    "design.system": (("name", "input_names", "params"), 2),
+    "design.module": (("name", "dims", "domain"), 1),
+    "design.equation": (("var", "where"), 1),
+    "rule.compute": (("op", "operands", "guard"), 0),
+    "rule.link": (("source", "guard", "label", "min_gap"), 0),
+    "rule.input": (("input_name", "index", "guard"), 0),
+    "design.output": (("module", "var", "domain", "key"), 0),
+}
+
+#: op name -> op names allowed in its regions
+_ALLOWED_CHILDREN = {
+    "design.system": {"design.module", "design.output"},
+    "design.module": {"design.equation"},
+    "design.equation": {"rule.compute", "rule.link", "rule.input"},
+}
+
+
+def verify_ir(root: IROp) -> None:
+    """Check op signatures, region nesting and symbolic def-use.
+
+    Raises :class:`IRVerificationError` on the first problem; a verified
+    tree is guaranteed to lower through :func:`ir_to_system`.
+    """
+    if root.name != "design.system":
+        raise IRVerificationError(
+            f"root must be design.system, got {root.name!r}")
+    if len(root.regions) != OP_SIGNATURES["design.system"][1]:
+        raise IRVerificationError(
+            f"design.system expects {OP_SIGNATURES['design.system'][1]} "
+            f"region(s), has {len(root.regions)}")
+    defined = set(root.defined_symbols())
+
+    def check(op: IROp, module: str) -> None:
+        sig = OP_SIGNATURES.get(op.name)
+        if sig is None:
+            raise IRVerificationError(f"unknown op {op.name!r}")
+        required, nregions = sig
+        for key in required:
+            if op.attr(key, _MISSING) is _MISSING:
+                raise IRVerificationError(
+                    f"{op.name} is missing attribute {key!r}")
+        if len(op.regions) != nregions:
+            raise IRVerificationError(
+                f"{op.name} expects {nregions} region(s), "
+                f"has {len(op.regions)}")
+        allowed = _ALLOWED_CHILDREN.get(op.name, set())
+        for region in op.regions:
+            for child in region:
+                if child.name not in allowed:
+                    raise IRVerificationError(
+                        f"{child.name} may not appear inside {op.name}")
+        scope = op.attr("name") if op.name == "design.module" else module
+        for sym in op.used_symbols(scope):
+            if sym not in defined:
+                raise IRVerificationError(
+                    f"{op.name} in module {scope or '<root>'!s} uses "
+                    f"undefined symbol {sym}")
+        for region in op.regions:
+            for child in region:
+                check(child, scope)
+
+    check(root, "")
+
+
+_MISSING = object()
+
+
+# -- textual form ------------------------------------------------------------
+
+def print_ir(root: IROp) -> str:
+    """Readable, deterministic textual form of an op tree.
+
+    Meant for ``--print-ir-after`` debugging, not parsing; attribute
+    leaves print through their value-based reprs.
+    """
+    lines: list[str] = []
+
+    def fmt_attrs(op: IROp, skip: tuple[str, ...]) -> str:
+        parts = []
+        for k, v in sorted(op.attrs.items()):
+            if k in skip:
+                continue
+            if k in ("guard", "where") and repr(v) in ("true", "TRUE"):
+                continue
+            if k == "label" and not v:
+                continue
+            if k == "min_gap" and v == 1:
+                continue
+            parts.append(f"{k}={v!r}")
+        return (" " + " ".join(parts)) if parts else ""
+
+    def emit(op: IROp, depth: int) -> None:
+        pad = "  " * depth
+        label = op.attr("name") or op.attr("var")
+        head = f"{pad}{op.name}"
+        if label:
+            head += f" @{label}"
+        head += fmt_attrs(op, ("name", "var"))
+        if op.regions:
+            lines.append(head + " {")
+            for region in op.regions:
+                for child in region:
+                    emit(child, depth + 1)
+            lines.append(pad + "}")
+        else:
+            lines.append(head)
+
+    emit(root, 0)
+    return "\n".join(lines)

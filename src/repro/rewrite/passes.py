@@ -1,0 +1,166 @@
+"""Pass manager: :class:`Pass`, :class:`PassPipeline`, :class:`PipelineState`.
+
+A pipeline threads one immutable :class:`PipelineState` value through a
+sequence of named passes.  Each pass consumes the fields it needs and
+returns a new state with its products filled in; the pipeline runs every
+pass under a ``pass.<name>`` span of the global tracer
+(:data:`repro.obs.TRACER`), so ``--stats`` and persisted run records show
+per-pass wall time and rewrite counters without any caller plumbing.
+
+Misordered pipelines fail fast: a pass whose inputs are missing raises
+:class:`PassError` naming the missing product and the pass that should
+have produced it.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.util.instrument import STATS
+
+
+class PassError(RuntimeError):
+    """A pass ran against a state missing its inputs (misordered pipeline)."""
+
+
+@dataclass(frozen=True)
+class PipelineState:
+    """Everything the passes of one synthesis run read and produce.
+
+    The front half mirrors the paper's artifacts: a
+    :class:`~repro.ir.program.HighLevelSpec` (optional entry point), the
+    restructured :class:`~repro.ir.program.RecurrenceSystem` and its typed
+    rewrite-IR view (kept in sync by the passes that rewrite it).  The
+    back half is filled in stage by stage: link constraints and schedules,
+    space maps, the value-free microcode skeleton, and finally the
+    packaged :class:`~repro.core.design.Design`.
+    """
+
+    params: Mapping[str, int]
+    interconnect: object                 # arrays.interconnect.Interconnect
+    options: object                      # core.options.SynthesisOptions
+    spec: object | None = None           # ir.program.HighLevelSpec
+    system: object | None = None         # ir.program.RecurrenceSystem
+    ir: object | None = None             # rewrite.ir.IROp (design.system)
+    deps: Mapping[str, object] | None = None
+    constraints: Sequence[object] | None = None
+    schedules: Mapping[str, object] | None = None
+    space_maps: Mapping[str, object] | None = None
+    microcode: object | None = None      # machine.microcode.Microcode
+    design: object | None = None         # core.design.Design
+
+    def replace(self, **updates) -> "PipelineState":
+        """Functional update (the only way state ever changes)."""
+        return dataclasses.replace(self, **updates)
+
+    def require(self, field: str, producer: str) -> object:
+        """Fetch a product, failing with a pipeline-ordering diagnostic."""
+        value = getattr(self, field)
+        if value is None:
+            raise PassError(
+                f"state has no {field!r}; run the {producer!r} pass first")
+        return value
+
+
+class Pass(abc.ABC):
+    """One named stage of the pipeline.
+
+    Subclasses set ``name`` (kebab-case, unique within a pipeline) and
+    ``description`` (one line, shown by ``repro passes``) and implement
+    :meth:`run` as a pure ``state -> state`` function.
+    """
+
+    name: str = "pass"
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, state: PipelineState) -> PipelineState:
+        """Produce the successor state; must not mutate ``state``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PassPipeline:
+    """An ordered, immutable sequence of passes.
+
+    ``print_ir_after`` opts into IR dumps for debugging: pass names (or
+    ``"all"``) after which the current system IR is printed through
+    ``emit`` (default: ``print``).
+    """
+
+    def __init__(self, passes: Sequence[Pass],
+                 print_ir_after: Sequence[str] = (),
+                 emit: Callable[[str], None] = print) -> None:
+        self.passes: tuple[Pass, ...] = tuple(passes)
+        names = [p.name for p in self.passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pass names in pipeline: {names}")
+        self.print_ir_after: tuple[str, ...] = tuple(print_ir_after)
+        unknown = [n for n in self.print_ir_after
+                   if n != "all" and n not in names]
+        if unknown:
+            raise ValueError(
+                f"print_ir_after names unknown passes {unknown}; "
+                f"pipeline has {names}")
+        self._emit = emit
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def __iter__(self) -> Iterator[Pass]:
+        return iter(self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:
+        return f"PassPipeline({' -> '.join(self.names)})"
+
+    # -- composition ---------------------------------------------------------
+
+    def with_pass(self, new: Pass, *, before: str | None = None,
+                  after: str | None = None) -> "PassPipeline":
+        """A new pipeline with ``new`` inserted (at the end by default)."""
+        if before is not None and after is not None:
+            raise ValueError("pass either before= or after=, not both")
+        anchor = before or after
+        passes = list(self.passes)
+        if anchor is None:
+            passes.append(new)
+        else:
+            if anchor not in self.names:
+                raise ValueError(f"no pass named {anchor!r} in {self.names}")
+            at = self.names.index(anchor) + (0 if before else 1)
+            passes.insert(at, new)
+        return PassPipeline(passes, self.print_ir_after, self._emit)
+
+    def without_pass(self, name: str) -> "PassPipeline":
+        if name not in self.names:
+            raise ValueError(f"no pass named {name!r} in {self.names}")
+        return PassPipeline([p for p in self.passes if p.name != name],
+                            [n for n in self.print_ir_after if n != name],
+                            self._emit)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, state: PipelineState) -> PipelineState:
+        """Run every pass in order under per-pass tracer spans."""
+        from repro.rewrite.ir import print_ir
+
+        dump_all = "all" in self.print_ir_after
+        with STATS.stage("pipeline", passes=len(self.passes)):
+            for p in self.passes:
+                with STATS.stage(f"pass.{p.name}"):
+                    state = p.run(state)
+                if (dump_all or p.name in self.print_ir_after):
+                    header = f"// -- IR after pass {p.name} --"
+                    if state.ir is not None:
+                        self._emit(f"{header}\n{print_ir(state.ir)}")
+                    else:
+                        self._emit(f"{header}\n// (no system IR in state)")
+        return state

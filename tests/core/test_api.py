@@ -40,17 +40,15 @@ class TestApiSurface:
 
 
 class TestSynthesisOptions:
-    def test_options_equivalent_to_legacy_kwargs(self):
-        system, params = dp_system(), {"n": 6}
-        via_options = synthesize(system, params, FIG2_EXTENDED,
-                                 SynthesisOptions(time_bound=3))
-        with pytest.warns(DeprecationWarning, match="time_bound"):
-            via_kwargs = synthesize(system, params, FIG2_EXTENDED,
-                                    time_bound=3)
-        assert via_options.to_dict() == via_kwargs.to_dict()
+    def test_legacy_kwargs_rejected_with_migration_hint(self):
+        # The loose kwargs spent a release as DeprecationWarning; they now
+        # fail fast, and the message must name the replacement spelling.
+        with pytest.raises(TypeError,
+                           match=r"SynthesisOptions\(time_bound=3\)"):
+            synthesize(dp_system(), {"n": 6}, FIG2_EXTENDED, time_bound=3)
 
     def test_options_plus_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="legacy kwargs"):
             synthesize(dp_system(), {"n": 6}, FIG2_EXTENDED,
                        SynthesisOptions(), time_bound=3)
 

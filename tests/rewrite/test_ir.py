@@ -1,0 +1,140 @@
+"""The typed rewrite IR: immutability, structural identity, round trips."""
+
+import pytest
+
+from repro.core.cache import system_fingerprint
+from repro.core.restructure import restructure
+from repro.problems import dp_spec, dp_system
+from repro.rewrite import (
+    IROp,
+    IRVerificationError,
+    Region,
+    ir_to_system,
+    print_ir,
+    system_to_ir,
+    verify_ir,
+    walk,
+)
+
+
+class TestImmutability:
+    def test_op_rejects_mutation(self):
+        op = IROp("rule.input", {"input_name": "c0"})
+        with pytest.raises(AttributeError):
+            op.name = "other"
+
+    def test_region_rejects_mutation(self):
+        region = Region([IROp("rule.input", {"input_name": "c0"})])
+        with pytest.raises(AttributeError):
+            region.ops = ()
+
+    def test_with_attrs_is_functional(self):
+        op = IROp("design.equation", {"var": "a", "where": "TRUE"})
+        other = op.with_attrs(var="b")
+        assert op.attr("var") == "a"
+        assert other.attr("var") == "b"
+        assert other.name == op.name
+
+    def test_with_regions_shares_attrs(self):
+        child = IROp("rule.input", {"input_name": "c0"})
+        op = IROp("design.equation", {"var": "a"}, (Region(),))
+        grown = op.with_regions((Region([child]),))
+        assert len(op.regions[0]) == 0
+        assert len(grown.regions[0]) == 1
+
+
+class TestStructuralIdentity:
+    def test_equal_ops_hash_equal(self):
+        a = IROp("rule.input", {"input_name": "c0", "index": (1, 2)})
+        b = IROp("rule.input", {"index": (1, 2), "input_name": "c0"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_attr_value_distinguishes(self):
+        a = IROp("rule.input", {"input_name": "c0"})
+        b = IROp("rule.input", {"input_name": "c1"})
+        assert a != b
+
+    def test_region_content_distinguishes(self):
+        child = IROp("rule.input", {"input_name": "c0"})
+        a = IROp("design.equation", {"var": "a"}, (Region([child]),))
+        b = IROp("design.equation", {"var": "a"}, (Region(),))
+        assert a != b
+
+    def test_ops_usable_as_dict_keys(self):
+        a = IROp("rule.input", {"input_name": "c0"})
+        b = IROp("rule.input", {"input_name": "c0"})
+        assert {a: 1}[b] == 1
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return dp_system()
+
+    def test_lossless_fingerprint(self, system):
+        back = ir_to_system(system_to_ir(system))
+        assert system_fingerprint(back) == system_fingerprint(system)
+
+    def test_restructured_system_round_trips(self):
+        system = restructure(dp_spec(), params={"n": 5})
+        back = ir_to_system(system_to_ir(system))
+        assert system_fingerprint(back) == system_fingerprint(system)
+
+    def test_verifies(self, system):
+        verify_ir(system_to_ir(system))
+
+    def test_walk_visits_every_equation(self, system):
+        root = system_to_ir(system)
+        eqs = [op for op in walk(root) if op.name == "design.equation"]
+        want = sum(len(m.equations) for m in system.modules.values())
+        assert len(eqs) == want
+        assert next(walk(root)) is root  # pre-order: root first
+
+
+class TestVerifier:
+    def test_unknown_op_rejected(self):
+        root = system_to_ir(dp_system())
+        bad_mod = root.regions[0].ops[0].with_regions(
+            (Region([IROp("design.mystery", {})]),))
+        bad = root.with_regions((Region([bad_mod]), root.regions[1]))
+        with pytest.raises(IRVerificationError, match="mystery"):
+            verify_ir(bad)
+
+    def test_missing_attr_rejected(self):
+        bad = IROp("design.system", {"name": "x"}, (Region(), Region()))
+        with pytest.raises(IRVerificationError, match="missing attribute"):
+            verify_ir(bad)
+
+    def test_wrong_region_count_rejected(self):
+        bad = IROp("design.system",
+                   {"name": "x", "input_names": (), "params": ()})
+        with pytest.raises(IRVerificationError, match="region"):
+            verify_ir(bad)
+
+    def test_broken_def_use_rejected(self):
+        root = system_to_ir(dp_system())
+        # Drop the first module: its symbols become undefined for the
+        # links/outputs that read them.
+        bad = root.with_regions((Region(root.regions[0].ops[1:]),
+                                 root.regions[1]))
+        with pytest.raises(IRVerificationError, match="undefined symbol"):
+            verify_ir(bad)
+
+    def test_root_must_be_system(self):
+        with pytest.raises(IRVerificationError, match="design.system"):
+            verify_ir(IROp("design.module", {}))
+
+
+class TestPrinter:
+    def test_deterministic_and_labelled(self):
+        root = system_to_ir(dp_system())
+        text = print_ir(root)
+        assert text == print_ir(system_to_ir(dp_system()))
+        for name in dp_system().modules:
+            assert f"design.module @{name}" in text
+
+    def test_trivial_defaults_suppressed(self):
+        text = print_ir(system_to_ir(dp_system()))
+        assert "where=TRUE" not in text
+        assert "min_gap=1" not in text
