@@ -27,6 +27,7 @@ from pathlib import Path
 #: better for every gated metric (they are all wall-clock timings).
 GATES = {
     "machine_compiled": ("compiled_ms", 2.0),
+    "machine_native": ("native_ms", 2.0),
     "machine_vector": ("vector_ms", 2.0),
     "sweep_cache": ("warm_s", 2.0),
     "vector_batch": ("batched_ms", 2.0),
@@ -55,10 +56,20 @@ def _context(entry: dict) -> tuple:
 def check_trajectory(path: Path, metric: str, ratio: float) -> str | None:
     """``None`` if the trajectory is healthy, else a failure message."""
     try:
-        entries = json.loads(path.read_text(encoding="utf-8"))
-    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None                      # raced away — same as absent
+    if not text.strip():
+        # An empty file is an unseeded trajectory, not corruption: the
+        # first pinned run seeds the baseline instead of failing the gate.
+        print(f"  {path.name}: empty — first pinned run seeds it")
+        return None
+    try:
+        entries = json.loads(text)
+    except json.JSONDecodeError as exc:
         return f"{path.name}: unreadable trajectory ({exc})"
     if not isinstance(entries, list) or not entries:
+        print(f"  {path.name}: no entries — first pinned run seeds it")
         return None
     latest = entries[-1]
     if metric not in latest:

@@ -22,9 +22,12 @@ Surface groups:
   :class:`Design`, :func:`random_inputs` / :func:`input_factory` for
   seeded problem instances;
 * execution engines — the :class:`Engine` registry (``"compiled"``,
-  ``"interpreted"``, ``"vector"``; members are str subclasses, so plain
-  strings keep working everywhere), :func:`coerce_engine`,
-  :data:`ENGINES`;
+  ``"interpreted"``, ``"vector"``, ``"native"``; members are str
+  subclasses, so plain strings keep working everywhere),
+  :func:`coerce_engine`, :data:`ENGINES`,
+  :data:`ENGINE_DESCRIPTIONS` (the one-line help table the CLI renders),
+  plus the native backend's feature gate :func:`native_available` and
+  the artifact-cache identity :func:`design_token`;
 * pass pipeline — :class:`Pass`, :class:`PassPipeline`,
   :class:`PipelineState`, :func:`default_pipeline` (the exact lowering
   :func:`synthesize` runs), :func:`make_pass` / :func:`available_passes`
@@ -84,8 +87,15 @@ from repro.core.explore import (
 )
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
-from repro.core.verify import VerificationReport, verify_design
-from repro.machine.engines import ENGINES, Engine, coerce_engine
+from repro.core.verify import VerificationReport, design_token, verify_design
+from repro.codegen.toolchain import native_available
+from repro.machine.engines import (
+    ENGINE_DESCRIPTIONS,
+    ENGINES,
+    Engine,
+    coerce_engine,
+    engine_help,
+)
 from repro.rewrite import (
     Pass,
     PassPipeline,
@@ -131,6 +141,7 @@ __all__ = [
     "Design",
     "DesignCache",
     "ENGINES",
+    "ENGINE_DESCRIPTIONS",
     "Engine",
     "EventLog",
     "EventSink",
@@ -165,6 +176,8 @@ __all__ = [
     "default_cache_dir",
     "default_pipeline",
     "default_workers",
+    "design_token",
+    "engine_help",
     "explore_interconnects",
     "explore_uniform",
     "fuzz",
@@ -174,6 +187,7 @@ __all__ = [
     "load_run_record",
     "make_pass",
     "metrics_dir",
+    "native_available",
     "pareto_front",
     "print_ir",
     "random_inputs",

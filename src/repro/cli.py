@@ -38,6 +38,7 @@ from repro.api import (
     SynthesisOptions,
     available_passes,
     default_pipeline,
+    engine_help,
     explore_uniform,
     resolve_interconnect,
     run_sweep,
@@ -296,7 +297,8 @@ def cmd_fuzz(args) -> int:
 
     if args.replay:
         results = replay_corpus(args.corpus_dir,
-                                pipeline=not args.no_pipeline)
+                                pipeline=not args.no_pipeline,
+                                native=args.native)
         if not results:
             print(f"no corpus artifacts under {args.corpus_dir}")
             return 0
@@ -318,7 +320,8 @@ def cmd_fuzz(args) -> int:
     report = fuzz(max_examples=args.examples, budget=args.budget,
                   seed=args.seed, corpus_dir=args.corpus_dir,
                   max_failures=args.max_failures, db_dir=args.db,
-                  log=print, pipeline=not args.no_pipeline)
+                  log=print, pipeline=not args.no_pipeline,
+                  native=args.native)
     print(report.summary())
     known = len(load_corpus(args.corpus_dir))
     print(f"corpus: {known} artifacts under {args.corpus_dir}")
@@ -373,11 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "kernel pass")
     p.add_argument("--engine", choices=list(ENGINES),
                    default="compiled",
-                   help="machine execution engine for --verify: 'compiled' "
-                        "lowers microcode to integer-indexed form (fast), "
-                        "'interpreted' is the cycle-by-cycle oracle, "
-                        "'vector' runs level-grouped ndarray kernels "
-                        "(fastest; batches --seeds into one pass)")
+                   help=engine_help("machine execution engine for --verify"))
     p.add_argument("--print-ir-after", default=None, metavar="PASSES",
                    help="print the system IR after the named passes "
                         "(comma-separated; 'all' dumps after every pass; "
@@ -424,8 +423,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "instances (0 = skip)")
     p.add_argument("--engine", choices=list(ENGINES),
                    default="vector",
-                   help="execution engine for --verify-seeds; 'vector' "
-                        "checks all seeds in one batched kernel pass")
+                   help=engine_help(
+                       "execution engine for --verify-seeds"))
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write the full sweep report as JSON")
     p.set_defaults(fn=cmd_sweep)
@@ -442,8 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RNG seed for the machine's host inputs")
     p.add_argument("--engine", choices=list(ENGINES),
                    default="compiled",
-                   help="execution engine emitting the events (all three "
-                        "produce the identical stream)")
+                   help=engine_help("execution engine emitting the events "
+                                    "(every engine produces the identical "
+                                    "stream)"))
     p.add_argument("--out", default=None, metavar="PREFIX",
                    help="output prefix (default: trace-<problem>-n<n>)")
     p.add_argument("--cells", type=int, default=12, metavar="N",
@@ -474,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fuzz", parents=[common],
         help="property-fuzz the nonuniform pipeline: random recurrence "
-             "systems through restructure/synthesize/all three engines, "
+             "systems through restructure/synthesize/every engine, "
              "cross-checked against a direct evaluation; shrunk failures "
              "are saved as corpus artifacts")
     p.add_argument("--examples", type=int, default=100, metavar="N",
@@ -499,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-pipeline", action="store_true",
                    help="skip the pass-pipeline fourth comparison point "
                         "of each case (faster, less coverage)")
+    p.add_argument("--native", action="store_true",
+                   help="add the native C-kernel engine as a comparison "
+                        "point of each case (skipped with a note when no "
+                        "C toolchain is available)")
     p.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -1,0 +1,47 @@
+"""Native code generation: C kernels emitted from level-grouped programs.
+
+The pipeline is ``emit`` (VectorProgram → C translation unit), ``toolchain``
+(system compiler discovery + cache fingerprint) and ``build`` (compile,
+content-address and load the shared objects).  :mod:`repro.machine.native`
+wires the three into the ``engine="native"`` execution path.
+"""
+
+from repro.codegen.build import (
+    NATIVE_FORMAT_VERSION,
+    NativeKernel,
+    kernel_key,
+    load_or_build,
+    native_cache_dir,
+)
+from repro.codegen.emit import (
+    EMITTER_VERSION,
+    KERNEL_SYMBOL,
+    CKernelSource,
+    UnsupportedForNative,
+    emit_kernel,
+)
+from repro.codegen.toolchain import (
+    CC_ENV_VAR,
+    DISABLE_ENV_VAR,
+    Toolchain,
+    find_toolchain,
+    native_available,
+)
+
+__all__ = [
+    "CC_ENV_VAR",
+    "CKernelSource",
+    "DISABLE_ENV_VAR",
+    "EMITTER_VERSION",
+    "KERNEL_SYMBOL",
+    "NATIVE_FORMAT_VERSION",
+    "NativeKernel",
+    "Toolchain",
+    "UnsupportedForNative",
+    "emit_kernel",
+    "find_toolchain",
+    "kernel_key",
+    "load_or_build",
+    "native_available",
+    "native_cache_dir",
+]

@@ -16,11 +16,13 @@ everything from the system and the (T, S) assignments.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
 
+from repro.core.cache import system_fingerprint
 from repro.core.design import Design
 from repro.deps.extract import system_dependence_matrices
 from repro.ir.evaluate import (
@@ -34,6 +36,7 @@ from repro.machine.engines import ENGINES as _ENGINES
 from repro.machine.engines import Engine, coerce_engine
 from repro.machine.errors import CapacityError
 from repro.machine.microcode import compile_design
+from repro.machine.native import nativize
 from repro.machine.simulator import MachineStats, run
 from repro.machine.vector import vectorize
 from repro.space.allocation import conflict_free, flows_realisable
@@ -158,15 +161,35 @@ def _verify_looped(design: Design, report: VerificationReport, decomposer,
         _check_results(report, machine.results, trace.results, prefix)
 
 
-def _verify_vector(design: Design, report: VerificationReport, decomposer,
-                   cache, input_sets, prefixes,
-                   strict_capacity: bool) -> None:
-    """All input sets through one batched kernel pass, reference and
-    machine alike; per-seed mismatches are reported with their prefix.
+def design_token(design: Design) -> str:
+    """Stable content identity of a design for artifact caching.
+
+    Canonical JSON over the *structural fingerprint* of the recurrence
+    system (:func:`repro.core.cache.system_fingerprint` — two same-named
+    systems with different equations must not collide) plus the design's
+    own serialisation.  The native engine keys its compiled shared
+    objects on this, which is what lets a warm ``verify_design(...,
+    engine="native")`` skip both codegen and the C compiler.
+    """
+    return json.dumps(
+        {"system": system_fingerprint(design.system),
+         "design": design.to_dict()},
+        sort_keys=True, separators=(",", ":"))
+
+
+def _verify_batched(design: Design, report: VerificationReport, decomposer,
+                    cache, input_sets, prefixes,
+                    strict_capacity: bool, engine: str) -> None:
+    """All input sets through one batched value pass, reference and
+    machine alike (the vector and native engines); per-seed mismatches
+    are reported with their prefix.
 
     Only the output columns are compared — no per-seed trace or result
     dict is materialized, so the whole batch costs two kernel passes plus
-    one array comparison."""
+    one array comparison.  ``engine="native"`` runs the machine pass
+    through the design-keyed compiled C kernel
+    (:func:`repro.machine.native.nativize`) and degrades to the vector
+    pass wherever the native kernel cannot run."""
     if not input_sets:
         return
     with STATS.stage("verify.reference"):
@@ -180,7 +203,8 @@ def _verify_vector(design: Design, report: VerificationReport, decomposer,
         ref_matrix = execute_program(vplan, input_sets)
     try:
         with STATS.stage("verify.compile"):
-            vmachine = cache.get("vmachine")
+            slot = "nmachine" if engine == "native" else "vmachine"
+            vmachine = cache.get(slot)
             if vmachine is None:
                 lowered = cache.get("machine")
                 if lowered is None:
@@ -188,7 +212,11 @@ def _verify_vector(design: Design, report: VerificationReport, decomposer,
                     mc = compile_design(trace, design.schedules,
                                         design.space_maps, decomposer)
                     lowered = cache["machine"] = lower(mc, trace)
-                vmachine = cache["vmachine"] = vectorize(lowered)
+                if engine == "native":
+                    vmachine = cache[slot] = nativize(
+                        lowered, cache_token=design_token(design))
+                else:
+                    vmachine = cache[slot] = vectorize(lowered)
         with STATS.stage("verify.machine"):
             compiled = vmachine.compiled
             if strict_capacity and compiled.strict_error is not None:
@@ -235,6 +263,11 @@ def verify_design(design: Design, inputs,
     additionally lowers the cached plan and machine table to level-grouped
     ndarray kernels (:mod:`repro.ir.vector`), so each value pass is a
     handful of array operations instead of one Python iteration per node.
+    ``engine="native"`` compiles those kernel groups to a per-design C
+    kernel (:mod:`repro.machine.native`) keyed by :func:`design_token` in
+    a persistent shared-object cache — a warm verification skips both
+    codegen and the C compiler — and degrades to the vector paths when no
+    toolchain is present or inputs leave exact int64 range.
 
     ``seeds`` turns one verification into a multi-seed cross-check: pass a
     sequence of seeds and make ``inputs`` a factory ``seed -> input
@@ -281,9 +314,9 @@ def verify_design(design: Design, inputs,
         prefixes = [f"seed {s}: " for s in seeds]
         report.seeds_checked = len(seeds)
 
-    if engine == "vector":
-        _verify_vector(design, report, decomposer, cache, input_sets,
-                       prefixes, strict_capacity)
+    if engine in ("vector", "native"):
+        _verify_batched(design, report, decomposer, cache, input_sets,
+                        prefixes, strict_capacity, engine)
     else:
         _verify_looped(design, report, decomposer, cache, input_sets,
                        prefixes, strict_capacity, engine)

@@ -15,9 +15,13 @@ Stages, in order, with the outcome taxonomy each can produce:
    interconnect; :class:`NoScheduleExists` / :class:`NoSpaceMapExists` are
    ``infeasible`` (honest: the array cannot host the instance).
 5. **verify** — :func:`verify_design`'s symbolic + physical checks.
-6. **engines** — all three engines run the compiled design; each must
+6. **engines** — every engine runs the compiled design; each must
    reproduce the oracle's values exactly *and* emit the byte-identical
    canonical event stream (``canonical_order`` then JSONL).
+   ``native=True`` adds the C-kernel engine to the comparison set (off by
+   default so fuzz throughput does not pay a per-case ``cc`` invocation;
+   a missing toolchain degrades it to the vector paths, which still
+   cross-checks dispatch).
 7. **pipeline** (on by default, ``pipeline=False`` opts out) — the fourth
    comparison point: the case is round-tripped *again* through the pass
    pipeline from its high-level spec (exercising the ``decompose-chains``
@@ -83,7 +87,8 @@ def _diff(results, oracle, limit: int = 3) -> str:
     return f"first diffs (key, got, want): {pairs}"
 
 
-def run_case(desc: CaseDescriptor, pipeline: bool = True) -> CaseOutcome:
+def run_case(desc: CaseDescriptor, pipeline: bool = True,
+             native: bool = False) -> CaseOutcome:
     """Round-trip ``desc``; never raises — failures become outcomes."""
     try:
         oracle = evaluate(desc)
@@ -127,12 +132,13 @@ def run_case(desc: CaseDescriptor, pipeline: bool = True) -> CaseOutcome:
     if not report.ok:
         return CaseOutcome("bug", "verify", "; ".join(report.failures))
 
+    engines = ENGINE_ORDER + ("native",) if native else ENGINE_ORDER
     streams: dict[str, str] = {}
     try:
         trace = trace_execution(system, params, inputs)
         mc = compile_design(trace, design.schedules, design.space_maps,
                             interconnect.decomposer())
-        for engine in ENGINE_ORDER:
+        for engine in engines:
             log = EventLog()
             machine = run(mc, trace, inputs, strict=True, engine=engine,
                           sink=log)

@@ -150,7 +150,8 @@ def _signature(outcome: CaseOutcome) -> tuple:
 
 def fuzz(max_examples: int = 100, budget: float = 60.0, seed: int = 0,
          corpus_dir=None, max_failures: int = 3, batch_size: int = 20,
-         db_dir=None, log=None, pipeline: bool = True) -> FuzzReport:
+         db_dir=None, log=None, pipeline: bool = True,
+         native: bool = False) -> FuzzReport:
     """Fuzz the nonuniform pipeline until a budget is hit.
 
     Stops when ``max_examples`` cases ran, ``budget`` seconds elapsed or
@@ -158,7 +159,9 @@ def fuzz(max_examples: int = 100, budget: float = 60.0, seed: int = 0,
     failure is shrunk by hypothesis; the minimal descriptor is saved under
     ``corpus_dir`` (unless ``None``) and reported in the returned
     :class:`FuzzReport`.  ``pipeline=False`` skips the pass-pipeline
-    fourth comparison point of each case (faster, less coverage).
+    fourth comparison point of each case (faster, less coverage);
+    ``native=True`` adds the C-kernel engine to every case's engine
+    cross-check (slower per case — a ``cc`` run per distinct design).
     """
     _require_hypothesis()
     started = time.monotonic()
@@ -182,7 +185,7 @@ def fuzz(max_examples: int = 100, budget: float = 60.0, seed: int = 0,
             if time.monotonic() - started > budget:
                 report.budget_exhausted = True
                 assume(False)
-            outcome = run_case(desc, pipeline=pipeline)
+            outcome = run_case(desc, pipeline=pipeline, native=native)
             report.examples_run += 1
             report.counts[outcome.status] = (
                 report.counts.get(outcome.status, 0) + 1)
@@ -224,14 +227,16 @@ def fuzz(max_examples: int = 100, budget: float = 60.0, seed: int = 0,
     return report
 
 
-def replay_corpus(corpus_dir, pipeline: bool = True) -> list[tuple]:
+def replay_corpus(corpus_dir, pipeline: bool = True,
+                  native: bool = False) -> list[tuple]:
     """Re-run every corpus artifact; returns ``(artifact, outcome, ok)``
     triples (``ok`` per the artifact's ``expect`` contract)."""
     from repro.fuzz.corpus import load_corpus
 
     results = []
     for artifact in load_corpus(corpus_dir):
-        outcome = run_case(artifact["descriptor"], pipeline=pipeline)
+        outcome = run_case(artifact["descriptor"], pipeline=pipeline,
+                           native=native)
         expect = artifact["expect"]
         ok = (not outcome.is_bug if expect is None
               else outcome.status == expect)

@@ -65,12 +65,16 @@ optimal parenthesization / shortest path; combined with :data:`MIN` as ``h``."""
 
 
 def make_op(name: str, arity: int, fn: Callable,
-            int_kernel: Callable | None = None) -> Op:
+            int_kernel: Callable | None = None,
+            components: "tuple[Op, ...] | None" = None) -> Op:
     """Create a custom operation (e.g. a parenthesization body that also
     tracks the split position).  ``int_kernel`` optionally supplies an
     exact int64 array kernel so the vector engine's fast path applies
-    (see :func:`repro.ir.vector.fused_int_kernel` for composing one)."""
-    return Op(name, arity, fn, int_kernel)
+    (see :func:`repro.ir.vector.fused_int_kernel` for composing one);
+    ``components`` records the ``(h, f)`` pair of an accumulator
+    composite so structural backends (the rewrite patterns, the native
+    C emitter) can recover the exact semantics of the lambda."""
+    return Op(name, arity, fn, int_kernel, components)
 
 
 def compose_accumulate(h: Op, f: Op) -> Op:

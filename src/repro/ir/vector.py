@@ -107,6 +107,35 @@ _INT_KERNELS: dict[Op, tuple[Callable, Callable]] = {
     MAC: (MAC.fn, _checked_mac),
 }
 
+#: Canonical exact-semantics tag per stock op — the shared vocabulary of
+#: every backend that re-implements the checked int64 repertoire (the C
+#: codegen layer keys its emitters on these).  ``min_plus`` is semantically
+#: plain addition, so it shares the ``add`` tag.
+_EXACT_OPCODES: dict[Op, tuple[Callable, str]] = {
+    IDENTITY: (IDENTITY.fn, "id"),
+    ADD: (ADD.fn, "add"),
+    MIN_PLUS: (MIN_PLUS.fn, "add"),
+    MUL: (MUL.fn, "mul"),
+    MIN: (MIN.fn, "min"),
+    MAX: (MAX.fn, "max"),
+    MAC: (MAC.fn, "mac"),
+}
+
+
+def exact_opcode(op: Op) -> str | None:
+    """Canonical opcode tag of a stock op with exact int64 semantics.
+
+    Returns ``"id"``/``"add"``/``"mul"``/``"min"``/``"max"``/``"mac"`` when
+    ``op`` is one of the stock operations (fn identity checked, exactly as
+    the fast-path kernel table does), ``None`` otherwise.  Composite
+    accumulator ops are *not* resolved here — walk ``op.components``
+    recursively (what :mod:`repro.codegen.emit` does).
+    """
+    entry = _EXACT_OPCODES.get(op)
+    if entry is None or entry[0] is not op.fn:
+        return None
+    return entry[1]
+
 
 def fused_int_kernel(h: Op, f: Op) -> Callable | None:
     """Exact int64 kernel for ``hf(prev, *xs) = h(prev, f(*xs))``.
@@ -168,6 +197,21 @@ class VectorProgram:
     groups: list[KernelGroup]                 # level-ascending, inputs first
     level_count: int
     int_ok: bool                              # every compute op has a kernel
+
+    def kernel_schedule(self) -> "list[KernelGroup]":
+        """The level-group execution schedule, in the order the kernel pass
+        runs it: input groups first, then copy/compute groups by ascending
+        level.
+
+        Within a level no value slot is both read and written (producers
+        and rewrites always land strictly above their readers), so a
+        backend may execute a level's groups — and the elements within a
+        group — in any order, or sequentially in place.  This is the
+        reusable codegen source: :mod:`repro.codegen.emit` walks it to
+        build the per-level loops of the native C kernel, and
+        :func:`execute_program` walks it with ndarray kernels.
+        """
+        return list(self.groups)
 
     def stats(self) -> dict[str, int]:
         """Level/group shape of the lowered program (for reports/tests)."""
@@ -286,9 +330,46 @@ def build_program(node_count: int,
 
 # -- execution ----------------------------------------------------------------
 
-def _fill_inputs(program: VectorProgram, values: np.ndarray,
-                 input_sets: Sequence[Mapping[str, Callable]],
-                 int_mode: bool) -> None:
+#: One process-wide warning the first time the exact int64 fast path bails
+#: out: the object path is 10-50x slower, and without the warning the cliff
+#: only shows up as wall clock.  The counter keeps every later occurrence
+#: visible in ``--stats``.
+_fallback_warned = False
+
+
+def note_int64_fallback(reason: str) -> None:
+    """Count an int64 → object-array fallback and warn once per process.
+
+    Shared by every backend that mirrors the fast path's semantics (the
+    vector engine here, the native C kernels in
+    :mod:`repro.machine.native`): the ``vector.int64_fallbacks`` counter
+    makes the perf cliff visible in ``--stats``, and the first occurrence
+    raises a :class:`RuntimeWarning` naming the cause.
+    """
+    global _fallback_warned
+    STATS.count("vector.int64_fallbacks")
+    if not _fallback_warned:
+        _fallback_warned = True
+        import warnings
+
+        warnings.warn(
+            f"exact int64 fast path fell back to the (10-50x slower) "
+            f"object-array path: {reason}; results stay exact, but check "
+            f"--stats ('vector.int64_fallbacks') if this is a hot path",
+            RuntimeWarning, stacklevel=3)
+
+
+def fill_inputs(program: VectorProgram, values: np.ndarray,
+                input_sets: Sequence[Mapping[str, Callable]],
+                int_mode: bool) -> None:
+    """Evaluate every host-input fetch into the ``(seeds, nodes)`` value
+    matrix — the gather phase shared by the ndarray and native backends.
+
+    With ``int_mode`` a non-integer input raises :class:`IntegerFallback`
+    (and an int too wide for int64 raises ``OverflowError`` from the
+    assignment), so callers on the fast path fall back before any kernel
+    runs.
+    """
     for group in program.groups:
         if group.kind != "input":
             continue
@@ -320,7 +401,7 @@ def _execute(program: VectorProgram,
     else:
         values = np.empty((len(input_sets), program.node_count), dtype=object)
     with STATS.stage("vector.gather"):
-        _fill_inputs(program, values, input_sets, int_mode)
+        fill_inputs(program, values, input_sets, int_mode)
     with STATS.stage("vector.exec"):
         kernels = 0
         for group in program.groups:
@@ -350,9 +431,9 @@ def execute_program(program: VectorProgram,
     if program.int_ok:
         try:
             return _execute(program, input_sets, np.int64)
-        except (IntegerFallback, OverflowError):
+        except (IntegerFallback, OverflowError) as exc:
             # OverflowError: a Python int too wide for an int64 slot.
-            STATS.count("vector.int64_fallbacks")
+            note_int64_fallback(str(exc) or type(exc).__name__)
     return _execute(program, input_sets, object)
 
 

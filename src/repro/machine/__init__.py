@@ -21,6 +21,7 @@ from repro.machine.errors import (
 )
 from repro.machine.compiled import CompiledMachine, lower, run_compiled
 from repro.machine.microcode import Hop, Injection, Microcode, Operation, compile_design
+from repro.machine.native import NativeMachine, lower_native, nativize, run_native
 from repro.machine.simulator import MachineRun, MachineStats, run
 from repro.machine.vector import VectorMachine, lower_vector, run_vector, vectorize
 
@@ -44,13 +45,17 @@ __all__ = [
     "MachineStats",
     "Microcode",
     "MissingOperandError",
+    "NativeMachine",
     "Operation",
     "VectorMachine",
     "compile_design",
     "lower",
+    "lower_native",
     "lower_vector",
+    "nativize",
     "run",
     "run_compiled",
+    "run_native",
     "run_vector",
     "vectorize",
 ]

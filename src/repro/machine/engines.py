@@ -25,11 +25,15 @@ class Engine(str, Enum):
       other engine is checked against.
     * ``VECTOR`` — execute the lowered table as level-grouped ndarray
       kernels; batches multi-seed verification into one pass.
+    * ``NATIVE`` — emit, compile and cache a per-design C kernel over the
+      level-grouped table; falls back to the vector engine when no C
+      toolchain is present or inputs leave exact int64 range.
     """
 
     COMPILED = "compiled"
     INTERPRETED = "interpreted"
     VECTOR = "vector"
+    NATIVE = "native"
 
     def __str__(self) -> str:  # "compiled", not "Engine.COMPILED"
         return self.value
@@ -38,6 +42,29 @@ class Engine(str, Enum):
 #: Canonical engine names, in documentation order.  The historical
 #: constant — ``repro.core.verify.ENGINES`` re-exports it.
 ENGINES: tuple[str, ...] = tuple(e.value for e in Engine)
+
+#: One-line description per engine — the CLI derives its ``--engine`` help
+#: from this table, so a new engine documents itself everywhere at once.
+ENGINE_DESCRIPTIONS: dict[str, str] = {
+    Engine.COMPILED.value:
+        "lowers microcode to integer-indexed straight-line form (fast)",
+    Engine.INTERPRETED.value:
+        "the cycle-by-cycle oracle every other engine is checked against",
+    Engine.VECTOR.value:
+        "level-grouped ndarray kernels; batches multi-seed runs into one "
+        "pass",
+    Engine.NATIVE.value:
+        "per-design C kernel compiled with the system toolchain and "
+        "cached; falls back to 'vector' without a compiler or for "
+        "Fraction/bignum inputs",
+}
+
+
+def engine_help(lead: str) -> str:
+    """``--engine`` help text assembled from the registry (CLI helper)."""
+    body = "; ".join(f"'{name}' {ENGINE_DESCRIPTIONS[name]}"
+                     for name in ENGINES)
+    return f"{lead}: {body}"
 
 
 def coerce_engine(engine: "Engine | str") -> str:

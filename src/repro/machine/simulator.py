@@ -127,7 +127,10 @@ def run(mc: Microcode, trace: SystemTrace,
     microcode to integer-indexed form first
     (:mod:`repro.machine.compiled`); ``"vector"`` additionally partitions
     the lowered operation table into level-grouped ndarray kernels
-    (:mod:`repro.machine.vector`).  All three produce identical output.
+    (:mod:`repro.machine.vector`); ``"native"`` compiles those kernel
+    groups to a cached per-design C kernel
+    (:mod:`repro.machine.native`), degrading to the vector paths when no
+    C toolchain is available.  All four produce identical output.
 
     ``sink`` opts into the cycle-level event log: every injection, fire,
     hop, output and register reclamation is emitted as a
@@ -144,6 +147,11 @@ def run(mc: Microcode, trace: SystemTrace,
         from repro.machine.vector import run_vector
 
         return run_vector(mc, trace, inputs, strict=strict,
+                          reclaim_registers=reclaim_registers, sink=sink)
+    if engine == "native":
+        from repro.machine.native import run_native
+
+        return run_native(mc, trace, inputs, strict=strict,
                           reclaim_registers=reclaim_registers, sink=sink)
     # Register files spring into being on first write: explicit .get()
     # probes keep cells that merely relay or read from materialising empty

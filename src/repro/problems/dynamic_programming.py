@@ -61,11 +61,13 @@ def fused_accumulate(h: Op, f: Op) -> Op:
 
     When both components are stock ops the fused op also carries the
     composed exact int64 kernel, so the vector engine keeps DP workloads
-    on the array fast path instead of calling the lambda per element.
+    on the array fast path instead of calling the lambda per element; the
+    recorded ``components`` let the native C emitter do the same.
     """
     return make_op(f"{h.name}_after_{f.name}", 3,
                    lambda prev, x, y: h.fn(prev, f.fn(x, y)),
-                   int_kernel=fused_int_kernel(h, f))
+                   int_kernel=fused_int_kernel(h, f),
+                   components=(h, f))
 
 
 def dp_spec(f: Op = MIN_PLUS, h: Op = MIN) -> HighLevelSpec:

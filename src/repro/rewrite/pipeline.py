@@ -26,6 +26,11 @@ The historical one-shot ``synthesize`` body is re-expressed as:
 the registry but *not* part of :func:`default_pipeline`: merging duplicate
 carrier chains changes the synthesized design, which callers opt into via
 ``default_pipeline().with_pass(make_pass("cse"), after="fuse-accumulators")``.
+``lower-native`` is likewise registry-only: it pre-builds the design's
+native C kernel (``engine="native"``) through the content-addressed
+artifact cache so later verification starts warm — a deployment step, not
+part of the synthesis contract, and a no-op fallback without a C
+toolchain.
 """
 
 from __future__ import annotations
@@ -288,6 +293,34 @@ class LowerMicrocodePass(Pass):
         return state.replace(microcode=microcode, design=design)
 
 
+class LowerNativePass(Pass):
+    name = "lower-native"
+    description = ("emit, compile and cache the design's native C kernel "
+                   "(content-addressed by design token; degrades to the "
+                   "vector engine without a C toolchain; opt-in)")
+
+    def run(self, state: PipelineState) -> PipelineState:
+        design = state.require("design", "lower-microcode")
+        microcode = state.require("microcode", "lower-microcode")
+        # Local imports: core.verify imports this module's package at
+        # load time, so the dependency must stay run-time only.
+        from repro.core.verify import design_token
+        from repro.machine.compiled import lower
+        from repro.machine.native import nativize
+
+        cache = design._exec_cache
+        lowered = cache.get("machine")
+        if lowered is None:
+            trace = structural_trace(design.system, dict(design.params))
+            lowered = cache["machine"] = lower(microcode, trace)
+        # Primes the same slot verify_design(engine="native") reads, so
+        # verification after this pass starts warm — kernel already
+        # compiled (or its .so already on disk from an earlier process).
+        cache["nmachine"] = nativize(lowered,
+                                     cache_token=design_token(design))
+        return state
+
+
 #: Every pass the CLI and callers can name, in presentation order.
 PASS_REGISTRY: dict[str, type[Pass]] = {
     DecomposeChainsPass.name: DecomposeChainsPass,
@@ -296,6 +329,7 @@ PASS_REGISTRY: dict[str, type[Pass]] = {
     SchedulePass.name: SchedulePass,
     AllocatePass.name: AllocatePass,
     LowerMicrocodePass.name: LowerMicrocodePass,
+    LowerNativePass.name: LowerNativePass,
 }
 
 #: Pass names of the default lowering, in order.

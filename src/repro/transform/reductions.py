@@ -75,7 +75,8 @@ class WeightedReduction:
 
 def fused(combine: Op, term: Op) -> Op:
     return make_op(f"{combine.name}_after_{term.name}", term.arity + 1,
-                   lambda acc, *xs: combine.fn(acc, term.fn(*xs)))
+                   lambda acc, *xs: combine.fn(acc, term.fn(*xs)),
+                   components=(combine, term))
 
 
 def _conjunction(exprs) -> Predicate:

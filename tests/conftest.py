@@ -6,6 +6,7 @@ caching them is safe and keeps the suite fast.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -21,6 +22,21 @@ from repro.problems import (
 )
 
 DP_N = 8
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_design_cache(tmp_path_factory):
+    """Point the persistent cache (designs + native .so artifacts) at a
+    session tmp dir so the suite never pollutes the user's real cache —
+    while still exercising warm-cache behaviour within the session."""
+    path = tmp_path_factory.mktemp("design-cache")
+    old = os.environ.get("REPRO_DESIGN_CACHE")
+    os.environ["REPRO_DESIGN_CACHE"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_DESIGN_CACHE", None)
+    else:
+        os.environ["REPRO_DESIGN_CACHE"] = old
 
 
 @pytest.fixture(scope="session")

@@ -44,7 +44,8 @@ class TestAllList:
             assert name in api.__all__, name
 
     def test_engine_surface_exported(self):
-        assert api.ENGINES == ("compiled", "interpreted", "vector")
+        assert api.ENGINES == ("compiled", "interpreted", "vector",
+                               "native")
         assert [e.value for e in api.Engine] == list(api.ENGINES)
         assert api.coerce_engine(api.Engine.VECTOR) == "vector"
 

@@ -61,6 +61,44 @@ class TestSynthesize:
         assert "verification: VerificationReport(OK)" in out
         assert "(seeds=3..10, engine=vector)" in out
 
+    def test_verify_native_engine(self, capsys):
+        # Works with or without a C toolchain: the native engine degrades
+        # to the vector paths, so verification stays OK either way.
+        assert main(["synthesize", "--problem", "dp", "--n", "6",
+                     "--interconnect", "fig1",
+                     "--verify", "--engine", "native", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: VerificationReport(OK)" in out
+        assert "engine=native" in out
+
+
+class TestEngineRegistry:
+    def test_cli_choices_follow_the_registry(self):
+        # Satellite contract: every --engine flag derives its choices from
+        # the Engine registry, so a new engine appears everywhere at once.
+        import argparse
+
+        from repro.cli import build_parser
+        from repro.machine.engines import ENGINES
+
+        found = []
+        subparser_actions = [
+            a for a in build_parser()._actions
+            if isinstance(a, argparse._SubParsersAction)]
+        for sub in subparser_actions:
+            for name, parser in sub.choices.items():
+                for action in parser._actions:
+                    if "--engine" in action.option_strings:
+                        assert tuple(action.choices) == ENGINES, name
+                        found.append(name)
+        assert sorted(set(found)) == ["sweep", "synthesize", "trace"]
+
+    def test_registry_contains_native(self):
+        from repro.machine.engines import ENGINE_DESCRIPTIONS, ENGINES
+
+        assert "native" in ENGINES
+        assert set(ENGINE_DESCRIPTIONS) == set(ENGINES)
+
 
 class TestSweep:
     def test_smoke_grid(self, tmp_path, capsys):
@@ -134,6 +172,18 @@ class TestFuzz:
         # A wrong pin turns into a non-zero exit.
         save_artifact(tmp_path, desc, expect="infeasible")
         assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)]) == 1
+
+    def test_replay_with_native_engine(self, tmp_path, capsys):
+        from repro.fuzz import CaseDescriptor, save_artifact
+
+        desc = CaseDescriptor(
+            n=5, lo=1, hi=1, args=((1, (0, 0)), (0, (0, 0))),
+            body="min_plus", combine="min", pool=(3, -1),
+            interconnect="fig1")
+        save_artifact(tmp_path, desc, expect="ok")
+        assert main(["fuzz", "--replay", "--native",
+                     "--corpus-dir", str(tmp_path)]) == 0
+        assert "replayed 1 artifacts, 0 failing" in capsys.readouterr().out
 
 
 class TestExplore:

@@ -274,3 +274,33 @@ class TestTrajectoryGate:
         proc = self._run(tmp_path)
         assert proc.returncode == 0
         assert "seeded baseline" in proc.stdout
+
+    def test_empty_file_seeds_instead_of_failing(self, tmp_path):
+        # A fresh checkout ships empty trajectories; the first pinned run
+        # must seed them, not crash the gate.
+        (tmp_path / "BENCH_machine_compiled.json").write_text(
+            "", encoding="utf-8")
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0
+        assert "seeds it" in proc.stdout
+
+    def test_empty_list_seeds_instead_of_failing(self, tmp_path):
+        self._write(tmp_path, [])
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0
+        assert "seeds it" in proc.stdout
+
+    def test_corrupt_file_still_fails(self, tmp_path):
+        (tmp_path / "BENCH_machine_compiled.json").write_text(
+            "{not json", encoding="utf-8")
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "unreadable" in proc.stdout
+
+    def test_native_trajectory_gated(self, tmp_path):
+        (tmp_path / "BENCH_machine_native.json").write_text(
+            json.dumps([{"n": 8, "native_ms": 1.0},
+                        {"n": 8, "native_ms": 9.0}]), encoding="utf-8")
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "machine_native" in proc.stdout

@@ -6,9 +6,13 @@ TWO_CHAIN = ((1, (0, 0)), (0, (0, 0)))
 
 
 def test_engine_order_covers_all_engines():
+    # The native engine is opt-in for fuzzing (``run_case(..., native=True)``
+    # / ``repro fuzz --native``): it needs a C toolchain to add coverage
+    # beyond the vector paths it otherwise falls back to.
     from repro.core.verify import ENGINES
 
-    assert set(ENGINE_ORDER) == set(ENGINES)
+    assert set(ENGINE_ORDER) | {"native"} == set(ENGINES)
+    assert "native" not in ENGINE_ORDER
 
 
 def test_dp_like_case_is_ok():

@@ -3,10 +3,12 @@
 Every artifact is a shrunk :class:`~repro.fuzz.cases.CaseDescriptor` that
 once exposed a bug (or pins a boundary the fuzzer must keep exercising).
 Replay runs the descriptor through the *whole* pipeline — oracle,
-restructuring, synthesis, and all three engines with value and event-stream
-comparison — via :func:`repro.fuzz.harness.run_case`, then enforces the
-artifact's ``expect`` contract: the recorded status must match exactly, or
-for freshly-found failures (``expect: null``) the outcome must merely not
+restructuring, synthesis, and every engine (including ``native`` where a
+C toolchain exists; without one it degrades to the vector paths) with
+value and event-stream comparison — via
+:func:`repro.fuzz.harness.run_case`, then enforces the artifact's
+``expect`` contract: the recorded status must match exactly, or for
+freshly-found failures (``expect: null``) the outcome must merely not
 be a bug.  See :mod:`repro.fuzz.corpus` for the artifact format.
 """
 
@@ -30,7 +32,7 @@ def test_corpus_is_populated():
 @pytest.mark.parametrize(
     "artifact", ARTIFACTS, ids=[a["path"].stem for a in ARTIFACTS])
 def test_artifact_replays(artifact):
-    outcome = run_case(artifact["descriptor"])
+    outcome = run_case(artifact["descriptor"], native=True)
     expect = artifact["expect"]
     context = (f"{artifact['path'].name}: {artifact['note']}\n"
                f"stage={outcome.stage}\n{outcome.detail}")

@@ -26,6 +26,7 @@ from repro.ir import (
     make_op,
     trace_execution,
 )
+from repro.codegen import native_available
 from repro.ir.affine import var
 from repro.ir.predicates import at_least
 from repro.ir.vector import (
@@ -202,6 +203,27 @@ class TestDtypePolicy:
         assert got.results == execute_plan(plan, inputs).results
 
 
+class TestFallbackObservability:
+    def test_counter_counts_and_warning_fires_once(self, monkeypatch):
+        import warnings
+
+        import repro.ir.vector as vec
+        from repro.util.instrument import STATS
+
+        monkeypatch.setattr(vec, "_fallback_warned", False)
+        plan = build_execution_plan(fib_system(), {})
+        inputs = {"seed": lambda i: Fraction(1, 3)}
+        before = STATS.counters.get("vector.int64_fallbacks", 0)
+        with pytest.warns(RuntimeWarning, match="int64 fast path"):
+            execute_plan_vector(plan, inputs)
+        assert STATS.counters.get("vector.int64_fallbacks", 0) == before + 1
+        # Later fallbacks keep counting but never warn again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            execute_plan_vector(plan, inputs)
+        assert STATS.counters.get("vector.int64_fallbacks", 0) == before + 2
+
+
 class TestCheckedKernels:
     def test_add_overflow_raises(self):
         big = np.array([2**62, 1], dtype=np.int64)
@@ -291,6 +313,67 @@ class TestLazyEvents:
         trace = execute_plan(plan, {"seed": lambda i: 1})
         trace.events = {}
         assert trace.events == {}
+
+
+@pytest.mark.skipif(not native_available(),
+                    reason="no C toolchain on this machine")
+class TestNativeKernel:
+    """The emitted C kernel against the ndarray fast path, at the level
+    of one lowered program — the fourth engine's innermost contract."""
+
+    def run_both(self, program, input_sets, tmp_path):
+        from repro.codegen import emit_kernel, load_or_build
+        from repro.ir.vector import fill_inputs
+
+        want = execute_program(program, input_sets)
+        kernel, reason = load_or_build(lambda: emit_kernel(program),
+                                       cache_dir=tmp_path)
+        assert kernel is not None, reason
+        values = np.zeros((len(input_sets), program.node_count),
+                          dtype=np.int64)
+        fill_inputs(program, values, input_sets, int_mode=True)
+        assert kernel.run(values) == 0
+        return values, want
+
+    def test_fibonacci_matches_fast_path(self, tmp_path):
+        plan = build_execution_plan(fib_system(), {})
+        program = lower_plan(plan)
+        input_sets = [{"seed": (lambda i, s=s: s)} for s in (1, 2, 5)]
+        values, want = self.run_both(program, input_sets, tmp_path)
+        assert values.tolist() == np.asarray(want).tolist()
+
+    def test_dp_fused_body_matches_fast_path(self, tmp_path):
+        from repro.problems import dp_inputs, dp_system
+
+        plan = build_execution_plan(dp_system(), {"n": 7})
+        program = lower_plan(plan)
+        input_sets = [dp_inputs([k + 1 for k in range(6)]),
+                      dp_inputs([9 - k for k in range(6)])]
+        values, want = self.run_both(program, input_sets, tmp_path)
+        assert values.tolist() == np.asarray(want).tolist()
+
+    def test_overflow_reports_nonzero(self, tmp_path):
+        from repro.codegen import emit_kernel, load_or_build
+        from repro.ir.vector import fill_inputs
+
+        plan = build_execution_plan(fib_system(), {})
+        program = lower_plan(plan)
+        kernel, reason = load_or_build(lambda: emit_kernel(program),
+                                       cache_dir=tmp_path)
+        assert kernel is not None, reason
+        input_sets = [{"seed": lambda i: 2**62}]   # fib sums overflow
+        values = np.zeros((1, program.node_count), dtype=np.int64)
+        fill_inputs(program, values, input_sets, int_mode=True)
+        assert kernel.run(values) != 0
+
+    def test_custom_op_is_rejected_not_miscompiled(self):
+        from repro.codegen import UnsupportedForNative, emit_kernel
+
+        pair = make_op("pair", 2, lambda a, b: (a, b))
+        plan = build_execution_plan(fib_system(op=pair), {})
+        program = lower_plan(plan)
+        with pytest.raises(UnsupportedForNative):
+            emit_kernel(program)
 
 
 class TestLoweredStructure:
