@@ -29,6 +29,7 @@ GATES = {
     "machine_compiled": ("compiled_ms", 2.0),
     "machine_native": ("native_ms", 2.0),
     "machine_vector": ("vector_ms", 2.0),
+    "obs_overhead": ("telemetry_on_s", 2.0),
     "sweep_cache": ("warm_s", 2.0),
     "vector_batch": ("batched_ms", 2.0),
 }
@@ -38,7 +39,8 @@ _META_KEYS = {"timestamp", "git_sha"}
 
 
 def _is_timing_key(key: str) -> bool:
-    return key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+    return (key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+            or key.endswith("_ratio"))
 
 
 def _context(entry: dict) -> tuple:
@@ -91,6 +93,51 @@ def check_trajectory(path: Path, metric: str, ratio: float) -> str | None:
     return None
 
 
+def delta_rows(root: Path) -> list[tuple[str, str, str, str, str]]:
+    """One row per (pin, timing metric): newest value, the previous
+    comparable entry's value, and the percentage delta."""
+    rows: list[tuple[str, str, str, str, str]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            entries = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(entries, list) or not entries:
+            continue
+        latest = entries[-1]
+        prior = [e for e in entries[:-1] if _context(e) == _context(latest)]
+        previous = prior[-1] if prior else None
+        pin = path.name[len("BENCH_"):-len(".json")]
+        for key in sorted(latest):
+            if not _is_timing_key(key):
+                continue
+            value = latest[key]
+            if not isinstance(value, (int, float)):
+                continue
+            base = previous.get(key) if previous else None
+            if isinstance(base, (int, float)) and base:
+                delta = f"{(value - base) / base * 100:+.1f}%"
+                base_text = f"{base:g}"
+            else:
+                delta, base_text = "-", "-"
+            rows.append((pin, key, f"{value:g}", base_text, delta))
+    return rows
+
+
+def print_delta_table(root: Path) -> None:
+    """The human-readable per-pin delta summary shown on a passing gate."""
+    rows = delta_rows(root)
+    if not rows:
+        return
+    headers = ("pin", "metric", "newest", "previous", "delta")
+    widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    print("\nper-pin trajectory deltas (newest vs previous comparable run):")
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
 def main(argv: list[str]) -> int:
     if len(argv) > 1:
         root = Path(argv[1])
@@ -112,6 +159,7 @@ def main(argv: list[str]) -> int:
         for message in failures:
             print(f"  {message}")
         return 1
+    print_delta_table(root)
     print("trajectory gate passed")
     return 0
 

@@ -45,10 +45,17 @@ Surface groups:
   :func:`replay_corpus`);
 * errors — :class:`SynthesisError` and its concrete subclasses;
 * naming — :func:`resolve_interconnect`, :data:`STOCK_INTERCONNECTS`;
-* observability — the span tracer (:data:`TRACER`), cycle-level machine
-  event logs (:class:`EventLog`, :class:`MachineEvent`) and persistent run
-  metrics (:class:`RunRecord`, :func:`write_run_record`,
-  :func:`load_run_record`, :func:`metrics_dir`).
+* observability — the span tracer (:data:`TRACER`) with its profiling
+  exports (:func:`collapsed_stacks`, :func:`spans_to_chrome_trace`), the
+  typed metrics registry (:data:`METRICS`, :class:`MetricsRegistry`,
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram`,
+  :func:`render_prometheus`), live sweep progress (:class:`ProgressEvent`,
+  :class:`CLIProgress`, :class:`JsonlHeartbeat`, :func:`read_heartbeat`),
+  cycle-level machine event logs (:class:`EventLog`,
+  :class:`MachineEvent`), persistent run metrics (:class:`RunRecord`,
+  :func:`write_run_record`, :func:`load_run_record`, :func:`metrics_dir`)
+  and run-record analytics (:func:`load_records`, :func:`render_report`,
+  :func:`report_dict` — the engine behind ``repro report``).
 """
 
 from repro.arrays.interconnect import (
@@ -122,22 +129,38 @@ from repro.fuzz import (
 from repro.machine.analysis import CellUtilization, cell_utilization
 from repro.problems import input_factory, random_inputs
 from repro.obs import (
+    METRICS,
     METRICS_ENV_VAR,
     TRACER,
+    CLIProgress,
+    Counter,
     EventLog,
     EventSink,
+    Gauge,
+    Histogram,
+    JsonlHeartbeat,
     MachineEvent,
+    MetricsRegistry,
+    ProgressEvent,
+    ProgressSink,
     RunRecord,
+    collapsed_stacks,
     load_run_record,
     metrics_dir,
+    read_heartbeat,
+    render_prometheus,
+    spans_to_chrome_trace,
     write_run_record,
 )
+from repro.report import load_records, render_report, report_dict
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CLIProgress",
     "CaseDescriptor",
     "CaseOutcome",
     "CellUtilization",
+    "Counter",
     "Design",
     "DesignCache",
     "ENGINES",
@@ -147,16 +170,23 @@ __all__ = [
     "EventSink",
     "ExploredDesign",
     "FuzzReport",
+    "Gauge",
+    "Histogram",
     "INTERCONNECT_ALIASES",
     "Interconnect",
+    "JsonlHeartbeat",
+    "METRICS",
     "METRICS_ENV_VAR",
     "MachineEvent",
+    "MetricsRegistry",
     "NoScheduleExists",
     "NoSpaceMapExists",
     "PROBLEM_BUILDERS",
     "Pass",
     "PassPipeline",
     "PipelineState",
+    "ProgressEvent",
+    "ProgressSink",
     "RewritePattern",
     "RunRecord",
     "STOCK_INTERCONNECTS",
@@ -173,6 +203,7 @@ __all__ = [
     "cache_key",
     "cell_utilization",
     "coerce_engine",
+    "collapsed_stacks",
     "default_cache_dir",
     "default_pipeline",
     "default_workers",
@@ -184,6 +215,7 @@ __all__ = [
     "input_factory",
     "ir_to_system",
     "load_corpus",
+    "load_records",
     "load_run_record",
     "make_pass",
     "metrics_dir",
@@ -191,11 +223,16 @@ __all__ = [
     "pareto_front",
     "print_ir",
     "random_inputs",
+    "read_heartbeat",
+    "render_prometheus",
+    "render_report",
     "replay_corpus",
+    "report_dict",
     "resolve_interconnect",
     "run_case",
     "run_pipeline",
     "run_sweep",
+    "spans_to_chrome_trace",
     "synthesize",
     "system_fingerprint",
     "system_to_ir",

@@ -13,6 +13,8 @@ fig1,linear --n 6,8 --stats
     python -m repro trace --problem dp --interconnect fig1 --n 8
     python -m repro figures --n 8
     python -m repro cell --n 8 --x 3 --y 2
+    python -m repro profile --problem dp --n 10 --verify
+    python -m repro report ./metrics --baseline BENCH_sweep_scaling.json
     python -m repro fuzz --examples 200 --budget 120 --seed 1
     python -m repro fuzz --replay
 
@@ -57,21 +59,29 @@ from repro.problems import (
 from repro.ir import trace_execution
 from repro.machine import cell_utilization, compile_design, run
 from repro.obs import (
+    CLIProgress,
     EventLog,
+    JsonlHeartbeat,
     RunRecord,
+    Span,
     TRACER,
     canonical_order,
+    collapsed_stacks,
     git_sha,
     load_run_record,
     metrics_dir,
+    spans_to_chrome_trace,
     write_run_record,
 )
 from repro.report import (
     cell_utilization_table,
     design_table,
+    load_records,
     module_table,
     render_array,
     render_cell_actions,
+    render_report,
+    report_dict,
     sweep_pareto_table,
     sweep_table,
 )
@@ -119,6 +129,9 @@ def cmd_synthesize(args) -> int:
         pipeline = default_pipeline(print_ir_after=_csv(args.print_ir_after))
     design = synthesize(system, params, _interconnect(args.interconnect),
                         options, pipeline=pipeline)
+    RUN_EXTRA["workload"] = {"problem": args.problem, "params": params,
+                             "interconnect": args.interconnect,
+                             "engine": options.engine}
     print(module_table(design, f"{args.problem} on {args.interconnect} "
                                f"({params})"))
     print()
@@ -189,12 +202,23 @@ def cmd_sweep(args) -> int:
     spec = SweepSpec(problems=tuple(problems), interconnects=interconnects,
                      param_grid=grid, options=options,
                      verify_seeds=args.verify_seeds)
+    sinks = []
+    if args.progress:
+        sinks.append(CLIProgress(sys.stderr))
+    if args.heartbeat:
+        sinks.append(JsonlHeartbeat(args.heartbeat))
     report = run_sweep(
         spec,
         workers=0 if args.serial else args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
-        cross_check=not args.no_cross_check)
+        cross_check=not args.no_cross_check,
+        progress=sinks or None)
+    RUN_EXTRA["jobs"] = [
+        {"problem": r.problem, "params": dict(r.params),
+         "interconnect": r.interconnect, "engine": options.engine,
+         "ok": r.ok, "cache_hit": r.cache_hit, "wall_time": r.wall_time}
+        for r in report.results]
     print(sweep_table(
         report.results,
         f"sweep: {len(problems)} problem(s) x {len(interconnects)} "
@@ -206,6 +230,8 @@ def cmd_sweep(args) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
         print(f"\nwrote {args.json}")
+    if args.heartbeat:
+        print(f"heartbeat: {args.heartbeat}")
     if args.stats:
         print()
         print(report.summary())
@@ -271,6 +297,92 @@ def cmd_trace(args) -> int:
     RUN_EXTRA["machine_stats"] = asdict(s)
     RUN_EXTRA["event_counts"] = counts
     RUN_EXTRA["exports"] = [jsonl_path, chrome_path]
+    RUN_EXTRA["workload"] = {"problem": args.problem, "params": params,
+                             "interconnect": args.interconnect,
+                             "engine": args.engine}
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile the synthesis side and export standard profile formats.
+
+    Default mode force-enables the span tracer, synthesizes the requested
+    design (verifying it too with ``--verify``, which adds the machine-side
+    spans) and writes the span forest twice: ``<out>.collapsed`` (folded
+    stacks — feed to flamegraph.pl or drop into speedscope) and
+    ``<out>.profile.json`` (Chrome ``trace_event`` — open in Perfetto).
+    With ``--from-record`` it re-exports the span tree of a persisted
+    RunRecord instead of running anything.
+    """
+    if args.from_record:
+        try:
+            record = load_run_record(args.from_record)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read run record "
+                             f"{args.from_record!r}: {exc}")
+        spans = [Span.from_dict(s) for s in record.spans]
+        if not spans:
+            raise SystemExit(f"run record {args.from_record!r} carries no "
+                             f"spans (was it recorded with --stats or a "
+                             f"metrics dir?)")
+        out = args.out or f"profile-{record.command}"
+    else:
+        TRACER.enable()      # regardless of --stats: spans ARE the output
+        builder, needed = PROBLEMS[args.problem]
+        params = {"n": args.n}
+        if "s" in needed:
+            params["s"] = args.s
+        system = builder()
+        options = SynthesisOptions(engine=args.engine)
+        design = synthesize(system, params,
+                            _interconnect(args.interconnect), options)
+        if args.verify:
+            verify_design(design, _random_inputs(args.problem, params,
+                                                 args.seed),
+                          engine=options.engine)
+        RUN_EXTRA["workload"] = {"problem": args.problem, "params": params,
+                                 "interconnect": args.interconnect,
+                                 "engine": options.engine}
+        spans = TRACER.spans()
+        out = args.out or f"profile-{args.problem}-n{args.n}"
+
+    collapsed_path = f"{out}.collapsed"
+    chrome_path = f"{out}.profile.json"
+    folded = collapsed_stacks(spans)
+    with open(collapsed_path, "w", encoding="utf-8") as fh:
+        fh.write(folded + ("\n" if folded else ""))
+    with open(chrome_path, "w", encoding="utf-8") as fh:
+        json.dump(spans_to_chrome_trace(spans), fh, indent=1, sort_keys=True)
+    total_ms = sum(s.duration for s in spans) * 1000
+    print(f"profiled {len(spans)} root span(s), {total_ms:.1f} ms total")
+    print(f"wrote {collapsed_path}  (collapsed stacks: flamegraph.pl, "
+          f"speedscope)")
+    print(f"wrote {chrome_path}  (load in Perfetto / chrome://tracing)")
+    RUN_EXTRA["exports"] = [collapsed_path, chrome_path]
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Aggregate run-record stores into the operator's analytics tables."""
+    sources = list(args.records)
+    if not sources:
+        default = metrics_dir()
+        if default is None:
+            raise SystemExit(
+                "repro report: give one or more record directories/files, "
+                "or set $REPRO_METRICS_DIR")
+        sources = [str(default)]
+    records = load_records(sources)
+    if not records:
+        print(f"no run records under: {', '.join(sources)}")
+        return 1
+    print(render_report(records, baseline=args.baseline))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report_dict(records, baseline=args.baseline), fh,
+                      indent=1, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    RUN_EXTRA["report"] = {"records": len(records), "sources": sources}
     return 0
 
 
@@ -427,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "execution engine for --verify-seeds"))
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write the full sweep report as JSON")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr (jobs done/failed/"
+                        "cached, throughput, ETA)")
+    p.add_argument("--heartbeat", default=None, metavar="FILE",
+                   help="append every progress event as one JSON line to "
+                        "FILE (tail-able; survives an interrupted sweep)")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -452,6 +570,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-record", default=None, metavar="FILE",
                    help="replay a persisted RunRecord instead of tracing")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="profile a synthesis run: export the span tree as collapsed "
+             "stacks (flamegraph) and Chrome trace_event JSON (Perfetto)")
+    p.add_argument("--problem", choices=sorted(PROBLEMS), default="dp")
+    p.add_argument("--interconnect", default="fig1")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--s", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the --verify inputs")
+    p.add_argument("--engine", choices=list(ENGINES),
+                   default="compiled",
+                   help=engine_help("execution engine for --verify"))
+    p.add_argument("--verify", action="store_true",
+                   help="also run the design on the machine, adding the "
+                        "verify/compile/machine spans to the profile")
+    p.add_argument("--out", default=None, metavar="PREFIX",
+                   help="output prefix (default: profile-<problem>-n<n>)")
+    p.add_argument("--from-record", default=None, metavar="FILE",
+                   help="re-export the span tree of a persisted RunRecord "
+                        "instead of profiling a fresh run")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "report", parents=[common],
+        help="aggregate RunRecord stores into latency (engine x problem "
+             "p50/p95/max), cache hit-rate and stage tables, with an "
+             "optional delta against a baseline store or BENCH_*.json")
+    p.add_argument("records", nargs="*", metavar="DIR_OR_FILE",
+                   help="record directories or files (default: "
+                        "$REPRO_METRICS_DIR)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="a baseline record directory (p50 delta per "
+                        "engine x problem) or a BENCH_<name>.json "
+                        "trajectory file (newest vs previous entry)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the report as JSON")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
         "passes", parents=[common],
@@ -526,14 +683,19 @@ def main(argv=None) -> int:
         print()
         print(STATS.report())
     if record_root is not None:
+        extra = {k: v for k, v in RUN_EXTRA.items() if k != "machine_stats"}
+        wire = TRACER.metrics.to_wire()
+        if wire["counters"] or wire["gauges"] or wire["histograms"]:
+            # The typed registry travels with the record so `repro report`
+            # can merge stage histograms across a whole campaign.
+            extra["telemetry"] = wire
         record = RunRecord(
             command=args.command,
             argv=list(argv) if argv is not None else sys.argv[1:],
             started_at=started, wall_time=wall, git_sha=git_sha(),
             stats=TRACER.snapshot(), spans=TRACER.span_dicts(),
             machine_stats=RUN_EXTRA.get("machine_stats"),
-            extra={k: v for k, v in RUN_EXTRA.items()
-                   if k != "machine_stats"})
+            extra=extra)
         path = write_run_record(record, record_root)
         print(f"\nrun record: {path}")
     return rc

@@ -47,6 +47,18 @@ from repro.codegen.emit import (
 from repro.codegen.toolchain import Toolchain, find_toolchain
 from repro.util.instrument import STATS
 
+#: Typed counter handles (see :mod:`repro.obs.telemetry`); increments
+#: route through ``STATS.count`` so span attribution is preserved.
+_CACHE_HITS = STATS.metrics.counter("native.cache_hits")
+_CACHE_MISSES = STATS.metrics.counter("native.cache_misses")
+_NEGATIVE_HITS = STATS.metrics.counter("native.negative_hits")
+_NEGATIVE_STORES = STATS.metrics.counter("native.negative_stores")
+_COMPILES = STATS.metrics.counter("native.compiles")
+_LOAD_ERRORS = STATS.metrics.counter("native.load_errors")
+#: Wall time of each ``cc`` invocation, seconds.  Observed directly (not
+#: via a span) so compile latency is visible even with tracing off.
+_COMPILE_SECONDS = STATS.metrics.histogram("native.compile_s")
+
 #: Same root as the design cache (see :mod:`repro.core.cache`); kept as a
 #: literal here so the codegen layer stays import-independent of ``core``.
 CACHE_ENV_VAR = "REPRO_DESIGN_CACHE"
@@ -164,19 +176,19 @@ def load_or_build(source_provider: Callable[[], CKernelSource],
 
     meta = _read_meta(meta_path)
     if meta is not None and meta.get("status") == "ok" and so_path.is_file():
-        STATS.count("native.cache_hits")
+        _CACHE_HITS.inc()
         try:
             return _load(so_path, meta["symbol"], meta["node_count"]), None
         except OSError as exc:   # truncated artifact, wrong arch, ...
-            STATS.count("native.load_errors")
+            _LOAD_ERRORS.inc()
             reason = f"cached kernel failed to load: {exc}"
             return None, reason
     if meta is not None and meta.get("status") == "error":
-        STATS.count("native.cache_hits")
-        STATS.count("native.negative_hits")
+        _CACHE_HITS.inc()
+        _NEGATIVE_HITS.inc()
         return None, meta.get("reason", "cached compile failure")
 
-    STATS.count("native.cache_misses")
+    _CACHE_MISSES.inc()
     if source is None:
         try:
             with STATS.stage("native.emit"):
@@ -202,6 +214,7 @@ def load_or_build(source_provider: Callable[[], CKernelSource],
             pass
         return None, f"compiler failed to run: {exc}"
     compile_ms = round((time.perf_counter() - t0) * 1e3, 3)
+    _COMPILE_SECONDS.observe(compile_ms / 1e3)
     if proc.returncode != 0:
         try:
             os.unlink(tmp_so)
@@ -213,7 +226,7 @@ def load_or_build(source_provider: Callable[[], CKernelSource],
             "format": NATIVE_FORMAT_VERSION, "status": "error",
             "reason": reason, "toolchain": toolchain.fingerprint,
         }, sort_keys=True, indent=1).encode("utf-8"))
-        STATS.count("native.negative_stores")
+        _NEGATIVE_STORES.inc()
         return None, reason
     os.replace(tmp_so, so_path)
     _atomic_write(meta_path, json.dumps({
@@ -221,10 +234,10 @@ def load_or_build(source_provider: Callable[[], CKernelSource],
         "symbol": source.symbol, "node_count": source.node_count,
         "compile_ms": compile_ms, "toolchain": toolchain.fingerprint,
     }, sort_keys=True, indent=1).encode("utf-8"))
-    STATS.count("native.compiles")
+    _COMPILES.inc()
     STATS.annotate(native_compile_ms=compile_ms)
     try:
         return _load(so_path, source.symbol, source.node_count), None
     except OSError as exc:
-        STATS.count("native.load_errors")
+        _LOAD_ERRORS.inc()
         return None, f"freshly built kernel failed to load: {exc}"

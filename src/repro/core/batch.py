@@ -35,7 +35,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -47,6 +48,7 @@ from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
 from repro.core.verify import verify_design
 from repro.ir.program import RecurrenceSystem
+from repro.obs.progress import ProgressSink, SweepProgress
 from repro.problems import (
     convolution_backward,
     convolution_forward,
@@ -324,6 +326,14 @@ def _execute_job(job: SweepJob, cache_root: "str | None",
         # process does not grow an unbounded span forest.
         delta["spans"] = [job_span.to_dict()]
         STATS.discard(job_span)
+    if in_worker:
+        # Typed-telemetry counterpart of the counter delta: gauges and
+        # stage-latency histograms recorded while tracing (counters
+        # already travel through the historical channel above — shipping
+        # them here too would double-count on merge).
+        wire = STATS.metrics.to_wire(counters=False)
+        if wire["gauges"] or wire["histograms"]:
+            delta["telemetry"] = wire
     if design is not None:
         result = SweepResult(
             problem=job.problem, params=job.params_dict,
@@ -391,10 +401,22 @@ def _result_from_payload(job: SweepJob, key: str,
         error_module=payload.get("error_module"))
 
 
-def _merge_stats(delta: dict) -> None:
-    """Fold a worker's counter/timer deltas — and its span subtree — into
-    the parent registry (the serial path needs no merge: it accrued
-    directly)."""
+def _merge_stats(delta: dict, *, job_key: "str | None" = None,
+                 merged: "set[str] | None" = None) -> None:
+    """Fold a worker's counter/timer deltas — span subtree and typed
+    telemetry included — into the parent registry (the serial path needs
+    no merge: it accrued directly).
+
+    ``job_key``/``merged`` deduplicate by job identity: a job that reaches
+    the parent twice (a worker result salvaged after a pool break *and*
+    its serial retry) must charge the registry once, not twice.  The
+    serial-retry path pre-marks its key for the same reason.
+    """
+    if merged is not None and job_key is not None:
+        if job_key in merged:
+            STATS.count("sweep.merge_deduped")
+            return
+        merged.add(job_key)
     for name, value in delta.get("counters", {}).items():
         STATS.count(name, value)
     for name, value in delta.get("timers", {}).items():
@@ -402,6 +424,9 @@ def _merge_stats(delta: dict) -> None:
     if STATS.enabled:
         for span_dict in delta.get("spans", ()):
             STATS.graft(span_dict)
+    telemetry = delta.get("telemetry")
+    if telemetry:
+        STATS.metrics.merge_wire(telemetry)
 
 
 def _cross_check(results: Sequence[SweepResult],
@@ -423,23 +448,91 @@ def _cross_check(results: Sequence[SweepResult],
             "fresh synthesis — clear the cache directory")
 
 
+def _run_pool(pending: Sequence[SweepJob], cache_root: "str | None",
+              use_cache: bool, nworkers: int,
+              tracker: "SweepProgress | None") -> list[SweepResult]:
+    """Execute ``pending`` on a worker pool, surviving worker death.
+
+    Results stream back through :func:`as_completed` (live progress, no
+    head-of-line blocking).  If the pool breaks — a worker segfaulted or
+    was OOM-killed — results already produced are salvaged from their
+    futures and every job without one retries on the **serial fallback**
+    in-process.  Stat merging dedups by job key throughout, so a salvaged
+    worker delta and a serial retry of the same job can never both charge
+    the parent registry (the historical double-count bug).
+    """
+    by_index: dict[int, SweepResult] = {}
+    merged: set[str] = set()
+    futures: dict = {}
+
+    def _accept(idx: int, result: SweepResult, *,
+                premerged: bool = False) -> None:
+        by_index[idx] = result
+        if premerged:
+            merged.add(result.key)
+        else:
+            _merge_stats(result.stats, job_key=result.key, merged=merged)
+        if tracker is not None:
+            tracker.job_done(ok=result.ok, cache_hit=result.cache_hit,
+                             label=result.label())
+
+    try:
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            futures = {
+                pool.submit(_execute_job, job, cache_root, use_cache,
+                            STATS.enabled, True): idx
+                for idx, job in enumerate(pending)}
+            for fut in as_completed(futures):
+                _accept(futures[fut], fut.result())
+    except BrokenProcessPool:
+        retry: list[int] = []
+        for fut, idx in futures.items():
+            if idx in by_index:
+                continue
+            if (fut.done() and not fut.cancelled()
+                    and fut.exception() is None):
+                _accept(idx, fut.result())
+            else:
+                retry.append(idx)
+        STATS.count("sweep.worker_retries", len(retry))
+        for idx in sorted(retry):
+            # Serial fallback: accrues stats directly into the caller's
+            # registry, so pre-mark the key — a duplicate delta for this
+            # job must never merge on top.
+            _accept(idx, _execute_job(pending[idx], cache_root, use_cache),
+                    premerged=True)
+    return [by_index[i] for i in sorted(by_index)]
+
+
 def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
               workers: int | None = None,
               use_cache: bool = True,
               cache_dir: "str | os.PathLike | None" = None,
-              cross_check: bool = True) -> SweepReport:
+              cross_check: bool = True,
+              progress: "ProgressSink | Iterable[ProgressSink] | None"
+              = None) -> SweepReport:
     """Run every job of ``spec``; never raises on per-job infeasibility.
 
     ``workers=None`` uses :func:`default_workers`; ``workers=0`` forces the
-    serial in-process path (useful under a debugger).  Results come back
-    sorted by (problem, interconnect, params) so downstream tables are
-    byte-stable regardless of completion order.
+    serial in-process path (useful under a debugger).  A worker process
+    that *dies* (rather than failing a job) breaks only itself: completed
+    results are salvaged and the unfinished jobs retry serially.  Results
+    come back sorted by (problem, interconnect, params) so downstream
+    tables are byte-stable regardless of completion order.
+
+    ``progress`` takes one sink or an iterable of sinks (see
+    :mod:`repro.obs.progress`): a structured event is emitted when totals
+    are known, after every finished job (cache hits included) and on
+    completion, carrying cumulative counts, throughput and ETA.
     """
     jobs = spec.jobs() if isinstance(spec, SweepSpec) else list(spec)
     nworkers = default_workers() if workers is None else max(0, int(workers))
+    tracker = SweepProgress.create(progress, registry=STATS.metrics)
     t0 = time.perf_counter()
     cache = DesignCache(cache_dir) if use_cache else None
     cache_root = str(cache.root) if cache is not None else None
+    if tracker is not None:
+        tracker.start(len(jobs))
 
     results: list[SweepResult] = []
     pending: list[SweepJob] = []
@@ -464,24 +557,23 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
                 if job.verify_seeds > 0 and result.ok:
                     _verify_result(job, result.design(job.builder()), result)
                 results.append(result)
+                if tracker is not None:
+                    tracker.job_done(ok=result.ok, cache_hit=True,
+                                     label=result.label())
 
     with STATS.stage("sweep.solve"):
         if not pending:
             pass
         elif nworkers == 0 or len(pending) == 1:
             for job in pending:
-                results.append(_execute_job(job, cache_root, use_cache))
+                result = _execute_job(job, cache_root, use_cache)
+                results.append(result)
+                if tracker is not None:
+                    tracker.job_done(ok=result.ok, cache_hit=False,
+                                     label=result.label())
         else:
-            n = len(pending)
-            with ProcessPoolExecutor(
-                    max_workers=min(nworkers, n)) as pool:
-                for result in pool.map(_execute_job, pending,
-                                       [cache_root] * n,
-                                       [use_cache] * n,
-                                       [STATS.enabled] * n,
-                                       [True] * n):
-                    _merge_stats(result.stats)
-                    results.append(result)
+            results.extend(_run_pool(pending, cache_root, use_cache,
+                                     min(nworkers, len(pending)), tracker))
 
     check = None
     if cross_check:
@@ -489,6 +581,8 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
             check = _cross_check(results, jobs_by_key)
 
     results.sort(key=SweepResult._sort_key)
+    if tracker is not None:
+        tracker.finish()
     return SweepReport(results=results,
                        wall_time=time.perf_counter() - t0,
                        workers=nworkers,

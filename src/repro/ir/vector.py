@@ -55,6 +55,11 @@ from repro.ir.ops import ADD, IDENTITY, MAC, MAX, MIN, MIN_PLUS, MUL, Op
 from repro.ir.statements import ComputeRule, LinkRule
 from repro.util.instrument import STATS
 
+#: Typed counter for the int64 -> object-array perf cliff (see
+#: :mod:`repro.obs.telemetry`); shared with the native engine.
+_INT64_FALLBACKS = STATS.metrics.counter("vector.int64_fallbacks")
+_KERNELS = STATS.metrics.counter("vector.kernels")
+
 
 class IntegerFallback(Exception):
     """Internal control flow: the int64 fast path cannot represent this
@@ -347,7 +352,7 @@ def note_int64_fallback(reason: str) -> None:
     raises a :class:`RuntimeWarning` naming the cause.
     """
     global _fallback_warned
-    STATS.count("vector.int64_fallbacks")
+    _INT64_FALLBACKS.inc()
     if not _fallback_warned:
         _fallback_warned = True
         import warnings
@@ -414,7 +419,7 @@ def _execute(program: VectorProgram,
                 kernel = group.int_kernel if int_mode else group.obj_kernel
                 values[:, group.dst] = kernel(*cols)
             kernels += 1
-        STATS.count("vector.kernels", kernels)
+        _KERNELS.inc(kernels)
     return values
 
 

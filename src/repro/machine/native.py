@@ -52,6 +52,12 @@ from repro.machine.vector import vectorize
 from repro.obs.events import EventSink
 from repro.util.instrument import STATS
 
+#: Typed fallback counters (see :mod:`repro.obs.telemetry`).
+_VECTOR_FALLBACKS = STATS.metrics.counter("native.vector_fallbacks")
+_INPUT_FALLBACKS = STATS.metrics.counter("native.input_fallbacks")
+_OVERFLOW_FALLBACKS = STATS.metrics.counter("native.overflow_fallbacks")
+_FALLBACK_BUILDS = STATS.metrics.counter("native.fallback_builds")
+
 
 @dataclass
 class NativeMachine:
@@ -98,7 +104,7 @@ class NativeMachine:
         """
         kernel = self.kernel
         if kernel is None:
-            STATS.count("native.vector_fallbacks")
+            _VECTOR_FALLBACKS.inc()
             return execute_program(self.program, input_sets)
         values = np.zeros((len(input_sets), self.program.node_count),
                           dtype=np.int64)
@@ -107,13 +113,13 @@ class NativeMachine:
                 fill_inputs(self.program, values, input_sets, int_mode=True)
         except (IntegerFallback, OverflowError) as exc:
             note_int64_fallback(str(exc) or type(exc).__name__)
-            STATS.count("native.input_fallbacks")
+            _INPUT_FALLBACKS.inc()
             return _execute_typed(self.program, input_sets, object)
         with STATS.stage("native.exec"):
             rc = kernel.run(values)
         if rc != 0:
             note_int64_fallback("int64 overflow in native kernel")
-            STATS.count("native.overflow_fallbacks")
+            _OVERFLOW_FALLBACKS.inc()
             return _execute_typed(self.program, input_sets, object)
         return values
 
@@ -141,7 +147,7 @@ def nativize(compiled: CompiledMachine,
         reason = ("program contains ops without exact int64 kernels; "
                   "running on the vector engine")
     if kernel is None:
-        STATS.count("native.fallback_builds")
+        _FALLBACK_BUILDS.inc()
     return NativeMachine(compiled=compiled, program=program,
                          kernel=kernel, fallback_reason=reason)
 

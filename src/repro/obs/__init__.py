@@ -1,16 +1,23 @@
-"""Observability layer: span tracing, machine event logs, run metrics.
+"""Observability layer: spans, telemetry, events, progress, run metrics.
 
-Three cooperating pieces, all opt-in and all zero-cost on hot paths when
+Five cooperating pieces, all opt-in and all zero-cost on hot paths when
 unused:
 
 * :mod:`repro.obs.tracer` — the hierarchical span tracer behind the
   process-wide :data:`TRACER` (also visible as the historical
-  ``repro.util.instrument.STATS``);
+  ``repro.util.instrument.STATS``), plus the profiling exports
+  (:func:`collapsed_stacks` flamegraph format, Chrome trace);
+* :mod:`repro.obs.telemetry` — the typed metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`, mergeable
+  across sweep workers) behind the process-wide :data:`METRICS`, with the
+  Prometheus text exposition (:func:`render_prometheus`);
 * :mod:`repro.obs.events` — the cycle-level machine event vocabulary with
   JSON-lines and Chrome ``trace_event`` (Perfetto) exporters;
+* :mod:`repro.obs.progress` — structured live sweep progress
+  (:class:`ProgressEvent`, CLI rendering, JSONL heartbeat);
 * :mod:`repro.obs.metrics` — persistent :class:`RunRecord` files under
-  ``$REPRO_METRICS_DIR`` capturing each CLI run's spans, counters and
-  machine statistics.
+  ``$REPRO_METRICS_DIR`` capturing each CLI run's spans, counters,
+  telemetry and machine statistics.
 """
 
 from repro.obs.events import (
@@ -30,24 +37,63 @@ from repro.obs.metrics import (
     metrics_dir,
     write_run_record,
 )
-from repro.obs.tracer import TRACER, Span, Tracer, render_spans
+from repro.obs.progress import (
+    CLIProgress,
+    JsonlHeartbeat,
+    ProgressEvent,
+    ProgressSink,
+    SweepProgress,
+    read_heartbeat,
+)
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+    render_prometheus,
+)
+from repro.obs.tracer import (
+    METRICS,
+    TRACER,
+    Span,
+    Tracer,
+    collapsed_stacks,
+    render_spans,
+    spans_to_chrome_trace,
+)
 
 __all__ = [
+    "CLIProgress",
+    "Counter",
     "EVENT_KINDS",
     "EventLog",
     "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlHeartbeat",
     "MachineEvent",
+    "METRICS",
     "METRICS_ENV_VAR",
+    "MetricsRegistry",
+    "ProgressEvent",
+    "ProgressSink",
     "RunRecord",
     "Span",
+    "SweepProgress",
     "TRACER",
     "Tracer",
     "canonical_order",
+    "collapsed_stacks",
     "git_sha",
     "list_run_records",
     "load_run_record",
     "metrics_dir",
+    "percentile",
+    "read_heartbeat",
     "read_jsonl",
+    "render_prometheus",
     "render_spans",
+    "spans_to_chrome_trace",
     "write_run_record",
 ]

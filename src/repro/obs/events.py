@@ -34,6 +34,7 @@ any layer can depend on it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Iterable, Protocol
@@ -138,6 +139,21 @@ class EventLog:
         return "\n".join(
             json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
             for e in self.events)
+
+    def digest(self, canonical: bool = True) -> str:
+        """SHA-256 of the JSON-lines export — the stream's byte identity.
+
+        With ``canonical=True`` (default) events are put in
+        :func:`canonical_order` first, so two engines that tell the same
+        story in different emission orders digest equal.  The four-engine
+        equivalence tests compare these digests, and they are cheap enough
+        to log per run.
+        """
+        events = canonical_order(self.events) if canonical else self.events
+        body = "\n".join(
+            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+            for e in events)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
     def write_jsonl(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:

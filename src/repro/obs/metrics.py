@@ -48,15 +48,14 @@ def metrics_dir(override: "str | os.PathLike | None" = None) -> Path | None:
     return Path(env) if env else None
 
 
-def git_sha() -> str | None:
-    """The current git revision, or ``None`` outside a checkout.
+#: Memo for the subprocess-resolved revision: ``False`` = not resolved
+#: yet, otherwise the cached ``str | None`` result.  Environment
+#: overrides are deliberately *not* memoized (they are cheap and tests /
+#: CI mutate them); only the ``git rev-parse`` subprocess is.
+_git_sha_cache: "str | None | bool" = False
 
-    ``GITHUB_SHA`` (set in CI even for shallow operations) wins over
-    invoking git, which keeps record-writing subprocess-free on runners.
-    """
-    env = os.environ.get("GITHUB_SHA")
-    if env:
-        return env
+
+def _resolve_git_sha() -> str | None:
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
@@ -65,6 +64,24 @@ def git_sha() -> str | None:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else None
+
+
+def git_sha() -> str | None:
+    """The current git revision, or ``None`` outside a checkout.
+
+    ``REPRO_GIT_SHA`` (explicit override for CI / hermetic builds) wins,
+    then ``GITHUB_SHA`` (set on runners even for shallow operations) —
+    both keep record-writing subprocess-free.  Otherwise ``git rev-parse``
+    runs **once per process** and the answer is memoized: a sweep that
+    writes hundreds of RunRecords must not fork git per write.
+    """
+    env = os.environ.get("REPRO_GIT_SHA") or os.environ.get("GITHUB_SHA")
+    if env:
+        return env
+    global _git_sha_cache
+    if _git_sha_cache is False:
+        _git_sha_cache = _resolve_git_sha()
+    return _git_sha_cache
 
 
 @dataclass

@@ -1,0 +1,230 @@
+"""Live sweep progress: structured events, CLI rendering, JSONL heartbeat.
+
+A million-design sweep is only operable if its state is visible while it
+runs.  :func:`repro.core.batch.run_sweep` drives a :class:`SweepProgress`
+tracker which computes throughput and ETA and fans structured
+:class:`ProgressEvent`\\ s out to any number of sinks:
+
+* :class:`CLIProgress` — a single self-updating terminal line (plain
+  line-per-update when the stream is not a TTY), throttled so a fast warm
+  sweep does not drown in redraws;
+* :class:`JsonlHeartbeat` — one JSON object per event appended to a file.
+  Each line is written atomically-enough (single ``write`` of one line,
+  file reopened per event) that a tail/monitor — or a post-mortem after an
+  interrupted sweep — always sees well-formed JSON;
+* anything implementing :class:`ProgressSink` (the future ``repro serve``
+  maps these events straight onto server-sent events).
+
+The tracker also publishes ``sweep.throughput`` / ``sweep.eta_s`` /
+``sweep.jobs_done`` gauges into the process metrics registry, so progress
+is scrapeable through the Prometheus exposition as well.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured snapshot of a running sweep.
+
+    ``kind`` is ``"start"`` (totals known, nothing run), ``"job"`` (one
+    job finished — fresh, failed or cache-hit) or ``"end"`` (sweep
+    complete).  Counts are cumulative; ``eta_s`` is ``None`` until at
+    least one job has finished.
+    """
+
+    kind: str
+    total: int
+    done: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    elapsed: float = 0.0
+    throughput: float = 0.0          # finished jobs per second
+    eta_s: "float | None" = None
+    label: str = ""                  # the job this event reports, if any
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "total": self.total,
+                     "done": self.done, "failed": self.failed,
+                     "cache_hits": self.cache_hits,
+                     "elapsed_s": round(self.elapsed, 6),
+                     "throughput": round(self.throughput, 3)}
+        if self.eta_s is not None:
+            out["eta_s"] = round(self.eta_s, 3)
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    def render(self) -> str:
+        """The one-line human form (what :class:`CLIProgress` shows)."""
+        bits = [f"sweep {self.done}/{self.total}"]
+        if self.failed:
+            bits.append(f"{self.failed} failed")
+        if self.cache_hits:
+            bits.append(f"{self.cache_hits} cached")
+        bits.append(f"{self.throughput:.1f} jobs/s")
+        if self.eta_s is not None and self.kind != "end":
+            bits.append(f"eta {self.eta_s:.1f}s")
+        if self.kind == "end":
+            bits.append(f"done in {self.elapsed:.2f}s")
+        return "  ".join(bits)
+
+
+class ProgressSink(Protocol):
+    """Anything that can receive sweep progress events."""
+
+    def emit(self, event: ProgressEvent) -> None:
+        ...
+
+
+class CLIProgress:
+    """Render progress as one self-updating line on ``stream``.
+
+    On a TTY the line redraws in place (carriage return); otherwise each
+    update is a plain line.  ``min_interval`` throttles redraws — the
+    first, last and every sufficiently-spaced event get through.
+    """
+
+    def __init__(self, stream, min_interval: float = 0.1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.stream = stream
+        self.min_interval = min_interval
+        self._clock = clock
+        self._last = -1e9
+        self._tty = bool(getattr(stream, "isatty", lambda: False)())
+        self._dirty = False
+
+    def emit(self, event: ProgressEvent) -> None:
+        now = self._clock()
+        final = event.kind == "end"
+        if not final and now - self._last < self.min_interval:
+            return
+        self._last = now
+        line = event.render()
+        if self._tty:
+            self.stream.write("\r\x1b[2K" + line)
+            self._dirty = True
+            if final:
+                self.stream.write("\n")
+                self._dirty = False
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+class JsonlHeartbeat:
+    """Append every progress event as one JSON line to ``path``.
+
+    The file is opened per event — slower than keeping a handle, but a
+    sweep that dies between events leaves a complete, parseable heartbeat
+    behind, which is the whole point of a heartbeat.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def emit(self, event: ProgressEvent) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+
+def read_heartbeat(path) -> list[ProgressEvent]:
+    """Load the events of a heartbeat file written by
+    :class:`JsonlHeartbeat`."""
+    events: list[ProgressEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(ProgressEvent(
+                kind=data["kind"], total=data["total"],
+                done=data.get("done", 0), failed=data.get("failed", 0),
+                cache_hits=data.get("cache_hits", 0),
+                elapsed=data.get("elapsed_s", 0.0),
+                throughput=data.get("throughput", 0.0),
+                eta_s=data.get("eta_s"), label=data.get("label", "")))
+    return events
+
+
+@dataclass
+class SweepProgress:
+    """The tracker :func:`~repro.core.batch.run_sweep` drives.
+
+    Computes cumulative counts, throughput and ETA with an injectable
+    clock, fans events to every sink (a sink that raises is dropped, never
+    killing the sweep), and mirrors the headline numbers into metrics
+    gauges when a registry is attached.
+    """
+
+    sinks: Sequence[ProgressSink] = ()
+    clock: Callable[[], float] = time.perf_counter
+    registry: "object | None" = None       # a MetricsRegistry, if any
+    total: int = 0
+    done: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    _t0: float = 0.0
+    _dead: list = field(default_factory=list)
+
+    @classmethod
+    def create(cls, sinks: "ProgressSink | Iterable[ProgressSink] | None",
+               registry=None) -> "SweepProgress | None":
+        """Normalise run_sweep's ``progress=`` argument (single sink,
+        iterable of sinks, or None)."""
+        if sinks is None:
+            return None
+        if hasattr(sinks, "emit"):
+            sinks = (sinks,)
+        sinks = tuple(sinks)
+        return cls(sinks=sinks, registry=registry) if sinks else None
+
+    def start(self, total: int) -> None:
+        self.total = total
+        self._t0 = self.clock()
+        self._emit("start", "")
+
+    def job_done(self, *, ok: bool, cache_hit: bool, label: str) -> None:
+        self.done += 1
+        if not ok:
+            self.failed += 1
+        if cache_hit:
+            self.cache_hits += 1
+        self._emit("job", label)
+
+    def finish(self) -> None:
+        self._emit("end", "")
+
+    def _emit(self, kind: str, label: str) -> None:
+        elapsed = max(self.clock() - self._t0, 0.0)
+        throughput = self.done / elapsed if elapsed > 0 else 0.0
+        eta = None
+        if self.done and throughput > 0:
+            eta = max(self.total - self.done, 0) / throughput
+        event = ProgressEvent(kind=kind, total=self.total, done=self.done,
+                              failed=self.failed,
+                              cache_hits=self.cache_hits, elapsed=elapsed,
+                              throughput=throughput, eta_s=eta, label=label)
+        if self.registry is not None:
+            self.registry.set_gauge("sweep.jobs_done", self.done)
+            self.registry.set_gauge("sweep.jobs_failed", self.failed)
+            self.registry.set_gauge("sweep.throughput", throughput)
+            self.registry.set_gauge("sweep.eta_s",
+                                    eta if eta is not None else 0.0)
+        for sink in self.sinks:
+            if sink in self._dead:
+                continue
+            try:
+                sink.emit(event)
+            except Exception:
+                # A broken sink (full disk, closed stream) must not kill
+                # the sweep; drop it and keep the others flowing.
+                self._dead.append(sink)

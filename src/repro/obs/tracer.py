@@ -29,6 +29,8 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.telemetry import MetricsRegistry
+
 
 class Span:
     """One timed node of the trace tree."""
@@ -106,8 +108,16 @@ class Tracer:
     ``clock`` is injectable for deterministic tests.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
-        self.counters: dict[str, int] = {}
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 metrics: "MetricsRegistry | None" = None) -> None:
+        #: The typed metrics registry this tracer publishes into.  The
+        #: flat ``counters`` dict *is* the registry's counter store, so the
+        #: historical view and the typed view can never drift; typed
+        #: handles route increments back through :meth:`count` (the
+        #: registry's ``_count_hook``) so they gain span attribution.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics._count_hook = self.count
+        self.counters: dict[str, int] = self.metrics.counters
         self.timers: dict[str, float] = {}
         self.enabled = False
         self._clock = clock
@@ -126,7 +136,7 @@ class Tracer:
 
     def reset(self) -> None:
         """Clear all recorded data (the enabled flag is left alone)."""
-        self.counters.clear()
+        self.metrics.reset()        # clears ``counters`` in place too
         self.timers.clear()
         self._roots.clear()
         self._stack.clear()
@@ -171,6 +181,10 @@ class Tracer:
             else:
                 del self._active[name]
                 self.timers[name] = self.timers.get(name, 0.0) + elapsed
+                if self.enabled:
+                    # Telemetry on: stage durations also feed the per-name
+                    # latency histogram (percentiles across calls/runs).
+                    self.metrics.observe(name, elapsed)
             if node is not None:
                 node.duration = elapsed
                 if self._stack and self._stack[-1] is node:
@@ -233,3 +247,85 @@ class Tracer:
 
 #: The process-wide tracer.  ``repro.util.instrument.STATS`` is this object.
 TRACER = Tracer()
+
+#: The process-wide typed metrics registry (the tracer's).
+METRICS = TRACER.metrics
+
+
+# -- profiling exports ---------------------------------------------------------
+#
+# The span tree is a profile of the synthesis side (pass manager, solver,
+# allocation, codegen).  Two standard renderings make it consumable by
+# stock tooling:
+#
+# * collapsed stacks — the ``frame;frame;frame count`` format consumed by
+#   flamegraph.pl, speedscope and every "folded stacks" viewer, with
+#   *self*-time microseconds as the sample count;
+# * Chrome ``trace_event`` JSON — loads in Perfetto / chrome://tracing.
+#
+# Both work from durations alone (children laid out sequentially inside
+# their parent), so they apply equally to live spans and to span trees
+# re-hydrated from a persisted RunRecord.
+
+
+def collapsed_stacks(spans: "list[Span]") -> str:
+    """The span forest in collapsed-stack (flamegraph) format.
+
+    One line per distinct stack, ``root;child;leaf <count>`` where the
+    count is the stack's *self* time in integer microseconds (duration
+    minus child durations, clamped at zero).  Lines are sorted for
+    byte-stable output; zero-weight stacks are dropped.
+    """
+    weights: dict[tuple[str, ...], int] = {}
+
+    def walk(span: Span, prefix: tuple[str, ...]) -> None:
+        stack = prefix + (span.name,)
+        child_time = sum(c.duration for c in span.children)
+        self_us = int(round(max(0.0, span.duration - child_time) * 1e6))
+        if self_us:
+            weights[stack] = weights.get(stack, 0) + self_us
+        for child in span.children:
+            walk(child, stack)
+
+    for span in spans:
+        walk(span, ())
+    return "\n".join(f"{';'.join(stack)} {weights[stack]}"
+                     for stack in sorted(weights))
+
+
+def spans_to_chrome_trace(spans: "list[Span]") -> dict:
+    """The span forest as Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    The timeline is synthesised from durations: roots run back to back and
+    every child starts where its previous sibling ended, so nesting and
+    proportions are faithful even for spans re-hydrated from a RunRecord
+    (which stores durations, not wall-clock starts).
+    """
+    trace_events: list[dict] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "repro synthesis"}},
+        {"ph": "M", "pid": 0, "tid": 1, "name": "thread_name",
+         "args": {"name": "spans"}},
+    ]
+
+    def walk(span: Span, ts_us: float) -> None:
+        args: dict = {}
+        if span.attrs:
+            args.update({k: str(v) for k, v in sorted(span.attrs.items())})
+        if span.counters:
+            args.update({k: v for k, v in sorted(span.counters.items())})
+        trace_events.append({
+            "ph": "X", "pid": 0, "tid": 1,
+            "ts": int(round(ts_us)),
+            "dur": int(round(span.duration * 1e6)),
+            "cat": "span", "name": span.name, "args": args})
+        cursor = ts_us
+        for child in span.children:
+            walk(child, cursor)
+            cursor += child.duration * 1e6
+
+    cursor = 0.0
+    for span in spans:
+        walk(span, cursor)
+        cursor += span.duration * 1e6
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -1,12 +1,24 @@
-"""Reporting: design tables (Tables 1/2 style) and ASCII array figures
-(Figures 1/2 style)."""
+"""Reporting: design tables (Tables 1/2 style), ASCII array figures
+(Figures 1/2 style), and run-record analytics (``repro report``)."""
 
 from repro.report.actions import action_profile, cell_actions, render_cell_actions
+from repro.report.analytics import (
+    bench_delta_table,
+    cache_table,
+    delta_records_table,
+    latency_table,
+    load_records,
+    merged_histograms,
+    render_report,
+    report_dict,
+    stage_table,
+)
 from repro.report.figures import render_array, render_gantt
 from repro.report.tables import (
     cell_utilization_table,
     design_table,
     flow_table,
+    format_grid,
     module_table,
     sweep_pareto_table,
     sweep_table,
@@ -14,14 +26,24 @@ from repro.report.tables import (
 
 __all__ = [
     "action_profile",
+    "bench_delta_table",
+    "cache_table",
     "cell_actions",
     "cell_utilization_table",
+    "delta_records_table",
     "design_table",
     "flow_table",
+    "format_grid",
+    "latency_table",
+    "load_records",
+    "merged_histograms",
     "module_table",
     "render_array",
     "render_cell_actions",
     "render_gantt",
+    "render_report",
+    "report_dict",
+    "stage_table",
     "sweep_pareto_table",
     "sweep_table",
 ]

@@ -9,7 +9,12 @@ from repro.core.design import Design
 from repro.core.explore import ExploredDesign
 
 
-def _format_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+def format_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII grid.
+
+    The house table style — every table in this package and the
+    analytics layer (:mod:`repro.report.analytics`) goes through here.
+    """
     widths = [len(h) for h in headers]
     for row in rows:
         for idx, cell in enumerate(row):
@@ -24,6 +29,10 @@ def _format_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     lines.extend(fmt(row) for row in rows)
     lines.append(sep)
     return "\n".join(lines)
+
+
+#: Historical private alias; new code uses :func:`format_grid`.
+_format_grid = format_grid
 
 
 def flow_table(flows: Mapping[str, Flow], title: str = "") -> str:

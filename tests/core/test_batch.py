@@ -238,3 +238,127 @@ class TestVerifySeeds:
         payload = report.to_dict()["results"][0]
         assert payload["verify_seeds"] == 4
         assert payload["verify_failures"] == []
+
+
+def _crash_first_worker_builder():
+    """A dp builder whose *first* invocation kills its process.
+
+    The sentinel path travels via the environment (inherited by pool
+    workers); O_CREAT|O_EXCL makes exactly one invocation — across all
+    processes — win the crash.  Later invocations (other workers, the
+    parent's serial retry) build normally.
+    """
+    import os
+
+    from repro.problems import dp_system
+
+    sentinel = os.environ.get("REPRO_TEST_CRASH_SENTINEL")
+    if sentinel:
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(1)          # simulate a segfault / OOM kill
+    return dp_system()
+
+
+class TestWorkerCrashRecovery:
+    def _jobs(self):
+        from repro.arrays.interconnect import resolve_interconnect
+        from repro.core.batch import SweepJob
+
+        fig1 = resolve_interconnect("fig1")
+        return [SweepJob("dp", _crash_first_worker_builder, (("n", n),), fig1)
+                for n in (4, 5, 6)]
+
+    def test_sweep_survives_worker_death(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SENTINEL",
+                           str(tmp_path / "crashed"))
+        before = STATS.snapshot()["counters"]
+        # use_cache=False: the parent must not run the crashing builder
+        # during the cache probe, and the pool path must stay exercised.
+        report = run_sweep(self._jobs(), workers=2, use_cache=False,
+                           cross_check=False)
+        assert (tmp_path / "crashed").exists()   # a worker did die
+        assert len(report.results) == 3
+        assert all(r.ok for r in report.results)
+        assert sorted(r.params["n"] for r in report.results) == [4, 5, 6]
+        after = STATS.snapshot()["counters"]
+        retries = after.get("sweep.worker_retries", 0) \
+            - before.get("sweep.worker_retries", 0)
+        assert retries >= 1
+
+    def test_retried_job_stats_counted_once(self, tmp_path, monkeypatch):
+        """Regression: a job salvaged from the broken pool AND retried
+        serially used to charge the parent registry twice."""
+        monkeypatch.setenv("REPRO_TEST_CRASH_SENTINEL",
+                           str(tmp_path / "crashed"))
+        counter = "space.assignments_examined"
+        before = STATS.snapshot()["counters"].get(counter, 0)
+        report = run_sweep(self._jobs(), workers=2, use_cache=False,
+                           cross_check=False)
+        after = STATS.snapshot()["counters"].get(counter, 0)
+        # The parent's accumulated delta must equal the sum of the
+        # per-job deltas exactly — a salvaged-then-retried job that
+        # merged twice would overshoot.
+        expected = sum(r.stats.get("counters", {}).get(counter, 0)
+                       for r in report.results)
+        assert expected > 0
+        assert after - before == expected
+
+
+class TestMergeDedup:
+    def _delta(self):
+        return {"counters": {"sentinel.merge": 5},
+                "timers": {"sentinel.timer": 0.25}}
+
+    def test_duplicate_job_key_merges_once(self):
+        from repro.core.batch import _merge_stats
+
+        merged = set()
+        before = STATS.snapshot()["counters"]
+        try:
+            _merge_stats(self._delta(), job_key="job-a", merged=merged)
+            _merge_stats(self._delta(), job_key="job-a", merged=merged)
+            after = STATS.snapshot()["counters"]
+            assert after["sentinel.merge"] \
+                - before.get("sentinel.merge", 0) == 5
+            assert after.get("sweep.merge_deduped", 0) \
+                - before.get("sweep.merge_deduped", 0) == 1
+        finally:
+            STATS.counters.pop("sentinel.merge", None)
+            STATS.timers.pop("sentinel.timer", None)
+
+    def test_distinct_keys_both_merge(self):
+        from repro.core.batch import _merge_stats
+
+        merged = set()
+        before = STATS.snapshot()["counters"].get("sentinel.merge", 0)
+        try:
+            _merge_stats(self._delta(), job_key="job-a", merged=merged)
+            _merge_stats(self._delta(), job_key="job-b", merged=merged)
+            after = STATS.snapshot()["counters"]["sentinel.merge"]
+            assert after - before == 10
+        finally:
+            STATS.counters.pop("sentinel.merge", None)
+            STATS.timers.pop("sentinel.timer", None)
+
+    def test_telemetry_wire_merges_into_registry(self):
+        from repro.core.batch import _merge_stats
+        from repro.obs import Histogram
+
+        hist = Histogram("sentinel.stage")
+        hist.observe(0.125)
+        delta = {"counters": {},
+                 "telemetry": {"gauges": {"sentinel.gauge": 2.5},
+                               "histograms": {"sentinel.stage":
+                                              hist.to_wire()}}}
+        try:
+            _merge_stats(delta, job_key="job-t", merged=set())
+            assert STATS.metrics.gauges["sentinel.gauge"] == 2.5
+            assert STATS.metrics.histograms["sentinel.stage"].count == 1
+        finally:
+            STATS.metrics.gauges.pop("sentinel.gauge", None)
+            STATS.metrics.histograms.pop("sentinel.stage", None)

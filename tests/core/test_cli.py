@@ -91,7 +91,8 @@ class TestEngineRegistry:
                     if "--engine" in action.option_strings:
                         assert tuple(action.choices) == ENGINES, name
                         found.append(name)
-        assert sorted(set(found)) == ["sweep", "synthesize", "trace"]
+        assert sorted(set(found)) == ["profile", "sweep", "synthesize",
+                                      "trace"]
 
     def test_registry_contains_native(self):
         from repro.machine.engines import ENGINE_DESCRIPTIONS, ENGINES

@@ -304,3 +304,72 @@ class TestTrajectoryGate:
         proc = self._run(tmp_path)
         assert proc.returncode == 1
         assert "machine_native" in proc.stdout
+
+    def test_passing_gate_prints_delta_table(self, tmp_path):
+        self._write(tmp_path, [{"n": 8, "compiled_ms": 10.0},
+                               {"n": 8, "compiled_ms": 12.0}])
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0
+        assert "per-pin trajectory deltas" in proc.stdout
+        assert "+20.0%" in proc.stdout
+
+    def test_delta_table_dash_without_comparable_prior(self, tmp_path):
+        self._write(tmp_path, [{"n": 8, "compiled_ms": 10.0}])
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0
+        # one entry: newest value shown, previous and delta are "-"
+        assert "machine_compiled" in proc.stdout
+        assert "-" in proc.stdout
+
+    def test_failing_gate_skips_delta_table(self, tmp_path):
+        self._write(tmp_path, [{"n": 8, "compiled_ms": 10.0},
+                               {"n": 8, "compiled_ms": 25.0}])
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "per-pin trajectory deltas" not in proc.stdout
+
+
+class TestGitSha:
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch):
+        from repro.obs import metrics
+        monkeypatch.setattr(metrics, "_git_sha_cache", False)
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+
+    def test_env_override_wins_and_is_not_memoized(self, monkeypatch):
+        from repro.obs import metrics
+        calls = []
+        monkeypatch.setattr(metrics, "_resolve_git_sha",
+                            lambda: calls.append(1) or "resolved")
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        assert metrics.git_sha() == "deadbeef"
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafef00d")
+        assert metrics.git_sha() == "cafef00d"
+        assert not calls   # override never touches the subprocess path
+
+    def test_github_sha_fallback(self, monkeypatch):
+        from repro.obs import metrics
+        monkeypatch.setenv("GITHUB_SHA", "ci-sha")
+        assert metrics.git_sha() == "ci-sha"
+
+    def test_subprocess_resolution_memoized_once(self, monkeypatch):
+        from repro.obs import metrics
+        calls = []
+        monkeypatch.setattr(metrics, "_resolve_git_sha",
+                            lambda: calls.append(1) or "abc123")
+        assert metrics.git_sha() == "abc123"
+        assert metrics.git_sha() == "abc123"
+        assert metrics.git_sha() == "abc123"
+        assert len(calls) == 1
+
+    def test_none_result_is_memoized_too(self, monkeypatch):
+        """Outside a checkout the failed resolution must also be cached —
+        a sweep must not retry git once per record write."""
+        from repro.obs import metrics
+        calls = []
+        monkeypatch.setattr(metrics, "_resolve_git_sha",
+                            lambda: calls.append(1) and None)
+        assert metrics.git_sha() is None
+        assert metrics.git_sha() is None
+        assert len(calls) == 1

@@ -1,0 +1,315 @@
+"""The typed metrics registry: handles, merge protocol, exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    percentile,
+    render_prometheus,
+)
+from repro.obs.telemetry import DEFAULT_BUCKETS
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 50) is None
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+
+class TestCounterGauge:
+    def test_counter_shares_registry_store(self):
+        reg = MetricsRegistry()
+        c = reg.counter("cache.hits")
+        c.inc()
+        c.inc(4)
+        assert reg.counters["cache.hits"] == 5
+        assert c.value == 5
+
+    def test_counter_does_not_preregister_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("never.bumped")
+        assert "never.bumped" not in reg.counters
+
+    def test_typed_and_untyped_observe_each_other(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        reg.inc("x", 2)
+        c.inc()
+        assert c.value == 3
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sweep.eta_s")
+        g.set(12.5)
+        assert g.value == 12.5
+        g.inc(0.5)
+        assert g.value == 13.0
+
+    def test_count_hook_routes_through_tracer_span(self):
+        """A typed increment must gain span attribution, exactly like a
+        historical STATS.count call."""
+        tracer = Tracer()
+        tracer.enable()
+        handle = tracer.metrics.counter("hits")
+        with tracer.span("stage") as span:
+            handle.inc(2)
+        assert tracer.counters["hits"] == 2
+        assert span.counters["hits"] == 2
+
+    def test_registry_survives_tracer_reset(self):
+        tracer = Tracer()
+        handle = tracer.metrics.counter("hits")
+        handle.inc()
+        tracer.reset()
+        assert handle.value == 0
+        handle.inc()
+        # the tracer's flat view and the registry are still the same dict
+        assert tracer.counters is tracer.metrics.counters
+        assert tracer.counters["hits"] == 1
+
+
+class TestHistogram:
+    def test_observe_updates_stats(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.1):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(0.107)
+        assert h.min == 0.001
+        assert h.max == 0.1
+        assert h.mean == pytest.approx(0.107 / 4)
+
+    def test_bucket_counts_are_noncumulative(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.7, 5.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 1]   # <=1, <=2, overflow
+
+    def test_percentiles_exact_when_under_capacity(self):
+        h = Histogram("lat")
+        for i in range(1, 101):
+            h.observe(float(i))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(100) == 100.0
+
+    def test_reservoir_bounded(self):
+        h = Histogram("lat", capacity=32)
+        for i in range(1000):
+            h.observe(float(i))
+        assert h.count == 1000
+        assert len(h.sample_values()) == 32
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(0.25)
+        summary = h.summary()
+        assert summary["count"] == 1
+        for key in ("mean", "min", "max", "p50", "p90", "p95", "p99"):
+            assert key in summary
+        assert Histogram("x").summary() == {"count": 0}
+
+    def test_wire_roundtrip_is_json_safe(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.5, 3.0):
+            h.observe(v)
+        wire = json.loads(json.dumps(h.to_wire()))
+        back = Histogram.from_wire("lat", wire)
+        assert back.count == h.count
+        assert back.sample_values() == h.sample_values()
+        assert back.bucket_counts == h.bucket_counts
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram("lat", buckets=(1.0,))
+        b = Histogram("lat", buckets=(2.0,))
+        b.observe(0.5)
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            a.merge_wire(b.to_wire())
+
+
+def _worker_histograms(observations_per_worker):
+    """Simulated per-worker histograms over disjoint observation slices."""
+    workers = []
+    for values in observations_per_worker:
+        h = Histogram("stage", capacity=64)
+        for v in values:
+            h.observe(v)
+        workers.append(h)
+    return workers
+
+
+def _merge_order(workers, order):
+    merged = Histogram("stage", capacity=64)
+    for idx in order:
+        merged.merge_wire(workers[idx].to_wire())
+    return merged
+
+
+class TestHistogramMergeAssociativity:
+    """The batch protocol folds worker registries in completion order,
+    which is nondeterministic — aggregates must not depend on it."""
+
+    SLICES = (
+        [0.001 * i for i in range(1, 80)],
+        [0.01 * i for i in range(1, 120)],
+        [0.5, 1.0, 2.0, 4.0, 8.0] * 10,
+        [3e-4] * 25,
+    )
+
+    def test_any_merge_order_identical(self):
+        import itertools
+
+        workers = _worker_histograms(self.SLICES)
+        reference = _merge_order(workers, range(len(workers)))
+        for order in itertools.permutations(range(len(workers))):
+            merged = _merge_order(workers, order)
+            assert merged.count == reference.count
+            assert merged.total == pytest.approx(reference.total)
+            assert merged.bucket_counts == reference.bucket_counts
+            assert merged.sample_values() == reference.sample_values()
+
+    def test_nested_merge_equals_flat_merge(self):
+        """((a+b) + (c+d)) == (((a+b)+c)+d) — true associativity, not just
+        commutativity."""
+        workers = _worker_histograms(self.SLICES)
+        left = Histogram("stage", capacity=64)
+        left.merge_wire(workers[0].to_wire())
+        left.merge_wire(workers[1].to_wire())
+        right = Histogram("stage", capacity=64)
+        right.merge_wire(workers[2].to_wire())
+        right.merge_wire(workers[3].to_wire())
+        nested = Histogram("stage", capacity=64)
+        nested.merge_wire(left.to_wire())
+        nested.merge_wire(right.to_wire())
+        flat = _merge_order(workers, range(len(workers)))
+        assert nested.sample_values() == flat.sample_values()
+        assert nested.bucket_counts == flat.bucket_counts
+
+    def test_merge_matches_single_process(self):
+        """Workers over disjoint slices must aggregate exactly like one
+        process observing everything (bucket counts are exact)."""
+        workers = _worker_histograms(self.SLICES)
+        merged = _merge_order(workers, range(len(workers)))
+        single = Histogram("stage", capacity=64)
+        for values in self.SLICES:
+            for v in values:
+                single.observe(v)
+        assert merged.count == single.count
+        assert merged.bucket_counts == single.bucket_counts
+        assert merged.min == single.min
+        assert merged.max == single.max
+
+
+class TestRegistry:
+    def test_snapshot_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.inc("b", 2)
+        reg.inc("a")
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.1)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)   # must not raise
+
+    def test_empty_histograms_kept_off_wire_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("pre.registered")
+        assert reg.to_wire()["histograms"] == {}
+        assert reg.snapshot()["histograms"] == {}
+
+    def test_wire_counters_optional(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        assert "counters" in reg.to_wire()
+        assert "counters" not in reg.to_wire(counters=False)
+
+    def test_merge_wire_full_registry(self):
+        a = MetricsRegistry()
+        a.inc("hits", 2)
+        a.observe("lat", 0.1)
+        b = MetricsRegistry()
+        b.inc("hits", 3)
+        b.set_gauge("eta", 9.0)
+        b.observe("lat", 0.2)
+        a.merge_wire(b.to_wire())
+        assert a.counters["hits"] == 5
+        assert a.gauges["eta"] == 9.0
+        assert a.histograms["lat"].count == 2
+
+    def test_reset_clears_in_place(self):
+        reg = MetricsRegistry()
+        counters = reg.counters
+        reg.inc("x")
+        reg.reset()
+        assert reg.counters is counters
+        assert not counters
+
+    def test_typed_handle_classes_exported(self):
+        reg = MetricsRegistry()
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)
+        # get-or-create: same underlying histogram every time
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hits", 7)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 7" in text
+
+    def test_gauge_rendering(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("sweep.throughput", 12.5)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_sweep_throughput gauge" in text
+        assert "repro_sweep_throughput 12.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            hist.observe(v)
+        text = render_prometheus(reg)
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 7.0" in text
+        assert "repro_lat_count 3" in text
+
+    def test_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.inc("native.cc-errors@k")
+        assert "repro_native_cc_errors_k_total" in render_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_custom_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        assert "acme_x_total 1" in render_prometheus(reg, prefix="acme")
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

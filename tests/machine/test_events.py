@@ -10,9 +10,13 @@ import json
 
 import pytest
 
+from repro.codegen import native_available
 from repro.ir import trace_execution
 from repro.machine import compile_design, lower, run
 from repro.obs import EVENT_KINDS, EventLog, MachineEvent, canonical_order, read_jsonl
+
+requires_cc = pytest.mark.skipif(not native_available(),
+                                 reason="no C toolchain on this machine")
 
 
 def _logged_run(design, inputs, engine):
@@ -65,6 +69,57 @@ class TestCrossEngineIdentity:
                                 "interpreted")
         assert logged.values == bare.values
         assert logged.stats == bare.stats
+
+
+class TestFourEngineByteIdentity:
+    """Every engine's canonical event stream must be *byte*-identical —
+    the digest is a SHA-256 over the canonical JSONL, so equal digests
+    mean equal bytes, not just equal event multisets."""
+
+    def test_vector_digest_matches_interpreter(self, fig1_logs,
+                                               dp_design_fig1,
+                                               dp_host_inputs):
+        _, interp_log, _, comp_log = fig1_logs
+        _, vec_log = _logged_run(dp_design_fig1, dp_host_inputs, "vector")
+        assert vec_log.digest() == interp_log.digest() == comp_log.digest()
+
+    @requires_cc
+    def test_native_digest_matches_interpreter(self, dp_design_fig1,
+                                               dp_host_inputs):
+        _, interp_log = _logged_run(dp_design_fig1, dp_host_inputs,
+                                    "interpreted")
+        result, native_log = _logged_run(dp_design_fig1, dp_host_inputs,
+                                         "native")
+        assert len(native_log) > 0
+        assert native_log.digest() == interp_log.digest()
+        # Belt and braces: the canonical JSONL itself is byte-equal.
+        canon = lambda log: "\n".join(      # noqa: E731
+            json.dumps(e.to_dict(), sort_keys=True)
+            for e in canonical_order(log))
+        assert canon(native_log) == canon(interp_log)
+
+    @requires_cc
+    def test_native_conv_backward_digest(self, conv_design_backward):
+        from repro.problems import convolution_inputs
+        inputs = convolution_inputs([2, -1, 3, 0, 5, -2, 1, 4, 6, -3],
+                                    [1, -2, 3, 2])
+        _, interp_log = _logged_run(conv_design_backward, inputs,
+                                    "interpreted")
+        _, native_log = _logged_run(conv_design_backward, inputs, "native")
+        assert native_log.digest() == interp_log.digest()
+
+    @requires_cc
+    def test_native_sink_does_not_change_values(self, dp_design_fig1,
+                                                dp_host_inputs):
+        bare, _ = _logged_run(dp_design_fig1, dp_host_inputs, "native")
+        trace = trace_execution(dp_design_fig1.system, dp_design_fig1.params,
+                                dp_host_inputs)
+        mc = compile_design(trace, dp_design_fig1.schedules,
+                            dp_design_fig1.space_maps,
+                            dp_design_fig1.interconnect.decomposer())
+        unlogged = run(mc, trace, dp_host_inputs, engine="native")
+        assert unlogged.values == bare.values
+        assert unlogged.stats == bare.stats
 
 
 class TestStatsAgreement:

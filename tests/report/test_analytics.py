@@ -1,0 +1,240 @@
+"""``repro report`` analytics over synthetic run-record stores."""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram
+from repro.obs.metrics import RunRecord, write_run_record
+from repro.report import (
+    bench_delta_table,
+    cache_table,
+    delta_records_table,
+    latency_table,
+    load_records,
+    merged_histograms,
+    render_report,
+    report_dict,
+    stage_table,
+)
+from repro.report.analytics import (
+    bench_delta_dict,
+    cache_dict,
+    job_samples,
+    latency_dict,
+    stage_dict,
+    summed_counters,
+)
+
+
+def _sweep_record(jobs, counters=None, telemetry=None):
+    return RunRecord(
+        command="sweep", argv=["--problems", "dp"], wall_time=1.0,
+        stats={"counters": counters or {}},
+        extra={"jobs": jobs, **({"telemetry": telemetry} if telemetry
+                                 else {})})
+
+
+def _single_record(engine, problem, wall_time, command="synthesize"):
+    return RunRecord(
+        command=command, wall_time=wall_time,
+        extra={"workload": {"problem": problem, "params": {"n": 8},
+                            "interconnect": "fig1", "engine": engine}})
+
+
+def _job(engine, problem, wall_time, ok=True, cache_hit=False):
+    return {"problem": problem, "params": {"n": 8}, "interconnect": "fig1",
+            "engine": engine, "ok": ok, "cache_hit": cache_hit,
+            "wall_time": wall_time}
+
+
+JOBS = [_job("interpreter", "dp", 0.010),
+        _job("interpreter", "dp", 0.030),
+        _job("interpreter", "conv-forward", 0.020),
+        _job("compiled", "dp", 0.005)]
+
+
+class TestLoadRecords:
+    def test_directory_and_file_sources(self, tmp_path):
+        store = tmp_path / "metrics"
+        p1 = write_run_record(_sweep_record(JOBS), store)
+        p2 = write_run_record(_single_record("compiled", "dp", 0.5), store)
+        assert p1 and p2
+        assert len(load_records([store])) == 2
+        assert len(load_records([p1])) == 1
+        assert len(load_records([store, p1])) == 3
+
+    def test_unreadable_files_skipped(self, tmp_path):
+        store = tmp_path / "metrics"
+        write_run_record(_sweep_record(JOBS), store)
+        (store / "run-broken.json").write_text("{not json", encoding="utf-8")
+        (store / "run-wrong-format.json").write_text(
+            json.dumps({"format": 999, "command": "x"}), encoding="utf-8")
+        records = load_records([store])
+        assert len(records) == 1
+        assert records[0].command == "sweep"
+
+
+class TestLatency:
+    def test_job_samples_group_by_engine_problem(self):
+        groups = job_samples([_sweep_record(JOBS)])
+        assert groups[("interpreter", "dp")] == [0.010, 0.030]
+        assert groups[("compiled", "dp")] == [0.005]
+
+    def test_single_run_contributes_record_wall_time(self):
+        groups = job_samples([_single_record("native", "dp", 0.25)])
+        assert groups[("native", "dp")] == [0.25]
+
+    def test_latency_dict_percentiles(self):
+        entries = latency_dict([_sweep_record(JOBS)])
+        by_key = {(e["engine"], e["problem"]): e for e in entries}
+        dp = by_key[("interpreter", "dp")]
+        assert dp["count"] == 2
+        assert dp["p50_s"] == pytest.approx(0.020)
+        assert dp["max_s"] == 0.030
+
+    def test_latency_table_renders_ms(self):
+        table = latency_table([_sweep_record(JOBS)], "latency")
+        assert table.startswith("latency\n")
+        assert "interpreter" in table
+        assert "20.0" in table      # p50 of 10ms/30ms
+
+    def test_empty_records_message(self):
+        assert "no latency samples" in latency_table([])
+
+
+class TestCaches:
+    COUNTERS = {"cache.hits": 6, "cache.misses": 2,
+                "cache.negative_hits": 1, "native.cache_hits": 3,
+                "native.cache_misses": 1}
+
+    def test_summed_counters_across_records(self):
+        records = [_sweep_record([], counters=self.COUNTERS),
+                   _sweep_record([], counters={"cache.hits": 4})]
+        assert summed_counters(records)["cache.hits"] == 10
+
+    def test_cache_dict_hit_rate(self):
+        entries = cache_dict([_sweep_record([], counters=self.COUNTERS)])
+        by_family = {e["family"]: e for e in entries}
+        assert by_family["design"]["hit_rate"] == pytest.approx(0.75)
+        assert by_family["design"]["negative_hits"] == 1
+        assert by_family["native"]["hits"] == 3
+        assert "points" not in by_family   # no activity -> no row
+
+    def test_cache_table_renders_rate(self):
+        table = cache_table([_sweep_record([], counters=self.COUNTERS)])
+        assert "75%" in table
+        assert "design" in table
+
+    def test_no_activity_message(self):
+        assert "no cache activity" in cache_table([_sweep_record([])])
+
+
+def _telemetry(stage_values):
+    histograms = {}
+    for name, values in stage_values.items():
+        h = Histogram(name)
+        for v in values:
+            h.observe(v)
+        histograms[name] = h.to_wire()
+    return {"histograms": histograms}
+
+
+class TestStages:
+    def test_merged_histograms_union_of_records(self):
+        a = _sweep_record([], telemetry=_telemetry({"solve": [0.1, 0.2]}))
+        b = _sweep_record([], telemetry=_telemetry({"solve": [0.3],
+                                                    "verify": [0.05]}))
+        merged = merged_histograms([a, b])
+        assert merged["solve"].count == 3
+        assert merged["verify"].count == 1
+
+    def test_stage_dict_summary(self):
+        rec = _sweep_record([], telemetry=_telemetry({"solve": [0.1, 0.3]}))
+        entries = stage_dict([rec])
+        assert entries[0]["stage"] == "solve"
+        assert entries[0]["count"] == 2
+        assert entries[0]["mean"] == pytest.approx(0.2)
+
+    def test_stage_table_and_empty_message(self):
+        rec = _sweep_record([], telemetry=_telemetry({"solve": [0.1]}))
+        assert "solve" in stage_table([rec])
+        assert "no telemetry histograms" in stage_table([_sweep_record([])])
+
+
+class TestDeltas:
+    def test_delta_records_table_pct(self):
+        current = [_sweep_record([_job("interpreter", "dp", 0.010)])]
+        baseline = [_sweep_record([_job("interpreter", "dp", 0.020)])]
+        table = delta_records_table(current, baseline)
+        assert "-50.0%" in table
+
+    def test_delta_handles_one_sided_keys(self):
+        current = [_sweep_record([_job("interpreter", "dp", 0.010)])]
+        baseline = [_sweep_record([_job("native", "dp", 0.020)])]
+        table = delta_records_table(current, baseline)
+        assert "interpreter" in table and "native" in table
+        # no common key -> every delta column is "-"
+        assert "%" not in table.splitlines()[-1]
+
+    def test_bench_delta_newest_vs_previous(self, tmp_path):
+        path = tmp_path / "BENCH_sweep_cache.json"
+        path.write_text(json.dumps([
+            {"n": 18, "warm_s": 0.100, "git_sha": "a"},
+            {"n": 18, "warm_s": 0.080, "git_sha": "b"},
+        ]), encoding="utf-8")
+        entries = {e["metric"]: e for e in bench_delta_dict(path)}
+        assert entries["warm_s"]["value"] == 0.080
+        assert entries["warm_s"]["previous"] == 0.100
+        assert "git_sha" not in entries        # non-numeric: skipped
+        table = bench_delta_table(path)
+        assert "-20.0%" in table
+
+    def test_bench_delta_single_entry_has_no_previous(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps([{"warm_s": 0.1}]), encoding="utf-8")
+        (entry,) = bench_delta_dict(path)
+        assert entry["previous"] is None
+        assert "-" in bench_delta_table(path)
+
+
+class TestWholeReport:
+    def _records(self):
+        return [_sweep_record(
+            JOBS, counters={"cache.hits": 3, "cache.misses": 1},
+            telemetry=_telemetry({"solve": [0.1, 0.2]}))]
+
+    def test_report_dict_sections(self):
+        out = report_dict(self._records())
+        assert out["records"] == 1
+        assert {e["engine"] for e in out["latency"]} == {"interpreter",
+                                                         "compiled"}
+        assert out["caches"][0]["family"] == "design"
+        assert out["stages"][0]["stage"] == "solve"
+        assert "delta" not in out and "bench_delta" not in out
+        json.dumps(out)   # --json must serialize
+
+    def test_report_dict_with_dir_baseline(self, tmp_path):
+        store = tmp_path / "base"
+        write_run_record(_sweep_record(JOBS), store)
+        out = report_dict(self._records(), baseline=store)
+        assert "delta" in out and "bench_delta" not in out
+
+    def test_report_dict_with_bench_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps([{"warm_s": 0.1}]), encoding="utf-8")
+        out = report_dict(self._records(), baseline=path)
+        assert "bench_delta" in out and "delta" not in out
+
+    def test_render_report_composes_blocks(self):
+        text = render_report(self._records())
+        assert text.startswith("report over 1 run record(s)")
+        assert "latency by engine x problem" in text
+        assert "cache effectiveness" in text
+        assert "stage latency (merged telemetry)" in text
+
+    def test_render_report_with_baseline_dir(self, tmp_path):
+        store = tmp_path / "base"
+        write_run_record(_sweep_record(JOBS), store)
+        text = render_report(self._records(), baseline=store)
+        assert "delta vs baseline records" in text
