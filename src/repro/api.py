@@ -35,10 +35,17 @@ Surface groups:
   partial lowerings with access to intermediate state, and the rewrite
   layer under it — :class:`RewritePattern`, :func:`apply_patterns`,
   :func:`system_to_ir` / :func:`ir_to_system` / :func:`print_ir`;
-* batch sweeps — :class:`SweepSpec`, :func:`run_sweep`,
-  :class:`SweepReport`, :data:`PROBLEM_BUILDERS`;
-* persistent cache — :class:`DesignCache`, :func:`cache_key`,
-  :func:`system_fingerprint`;
+* batch sweeps — :class:`SweepSpec`, :func:`run_sweep` (with
+  ``manifest=`` resume and a ``scheduler=`` chunking-policy override),
+  :class:`SweepReport`, :data:`PROBLEM_BUILDERS`,
+  :func:`default_workers` (honours ``$REPRO_WORKERS``), the
+  work-stealing :class:`SchedulerConfig`, and resumable manifests
+  (:class:`SweepManifest`, :func:`read_manifest`,
+  :class:`ManifestError`);
+* persistent cache — :class:`DesignCache` (sharded ``ab/cd/<key>.json``
+  store with an index and :meth:`~DesignCache.prune`),
+  :class:`PruneReport`, :func:`cache_key`,
+  :func:`cache_key_from_fingerprint`, :func:`system_fingerprint`;
 * fuzzing — :func:`fuzz` (budgeted random round-trips of the nonuniform
   pipeline), :func:`run_case` / :class:`CaseDescriptor` /
   :class:`CaseOutcome`, and the regression corpus (:func:`load_corpus`,
@@ -76,11 +83,19 @@ from repro.core.batch import (
 from repro.core.cache import (
     CACHE_ENV_VAR,
     DesignCache,
+    PruneReport,
     cache_key,
+    cache_key_from_fingerprint,
     default_cache_dir,
     system_fingerprint,
 )
 from repro.core.design import Design
+from repro.core.manifest import (
+    ManifestError,
+    SweepManifest,
+    read_manifest,
+)
+from repro.core.scheduler import SchedulerConfig
 from repro.core.errors import (
     NoScheduleExists,
     NoSpaceMapExists,
@@ -178,6 +193,7 @@ __all__ = [
     "METRICS",
     "METRICS_ENV_VAR",
     "MachineEvent",
+    "ManifestError",
     "MetricsRegistry",
     "NoScheduleExists",
     "NoSpaceMapExists",
@@ -187,10 +203,13 @@ __all__ = [
     "PipelineState",
     "ProgressEvent",
     "ProgressSink",
+    "PruneReport",
     "RewritePattern",
     "RunRecord",
     "STOCK_INTERCONNECTS",
+    "SchedulerConfig",
     "SweepJob",
+    "SweepManifest",
     "SweepReport",
     "SweepResult",
     "SweepSpec",
@@ -201,6 +220,7 @@ __all__ = [
     "apply_patterns",
     "available_passes",
     "cache_key",
+    "cache_key_from_fingerprint",
     "cell_utilization",
     "coerce_engine",
     "collapsed_stacks",
@@ -224,6 +244,7 @@ __all__ = [
     "print_ir",
     "random_inputs",
     "read_heartbeat",
+    "read_manifest",
     "render_prometheus",
     "render_report",
     "replay_corpus",

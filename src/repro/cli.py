@@ -36,12 +36,14 @@ from pathlib import Path
 
 from repro.api import (
     ENGINES,
+    DesignCache,
     SweepSpec,
     SynthesisOptions,
     available_passes,
     default_pipeline,
     engine_help,
     explore_uniform,
+    read_manifest,
     resolve_interconnect,
     run_sweep,
     synthesize,
@@ -213,7 +215,8 @@ def cmd_sweep(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         cross_check=not args.no_cross_check,
-        progress=sinks or None)
+        progress=sinks or None,
+        manifest=args.manifest)
     RUN_EXTRA["jobs"] = [
         {"problem": r.problem, "params": dict(r.params),
          "interconnect": r.interconnect, "engine": options.engine,
@@ -232,10 +235,58 @@ def cmd_sweep(args) -> int:
         print(f"\nwrote {args.json}")
     if args.heartbeat:
         print(f"heartbeat: {args.heartbeat}")
+    if args.manifest:
+        resumed = int(STATS.metrics.gauges.get("sweep.jobs_resumed", 0))
+        info = read_manifest(args.manifest)
+        print(f"manifest: {args.manifest} "
+              f"({len(info['completed'])}/{info['total']} journaled, "
+              f"{resumed} restored this run)")
     if args.stats:
         print()
         print(report.summary())
     return 0 if report.ok_results else 1
+
+
+def cmd_cache(args) -> int:
+    """Inspect and maintain the persistent design cache."""
+    cache = DesignCache(args.cache_dir)
+    if args.action == "info":
+        entries = cache.entries()
+        ok = sum(1 for e in entries if e.get("status") == "ok")
+        size = sum(e.get("bytes") or 0 for e in entries)
+        print(f"cache: {cache.root}")
+        print(f"entries: {len(entries)} ({ok} ok, {len(entries) - ok} "
+              f"negative), {size / 1024:.1f} KiB")
+        front = cache.pareto()
+        if front:
+            rows = [[str(e["completion_time"]), str(e["cells"]),
+                     e["key"][:12]] for e in front]
+            from repro.report import format_grid
+            print(format_grid(["completion", "cells", "key"], rows))
+        RUN_EXTRA["cache"] = {"entries": len(entries), "bytes": size}
+        return 0
+    if args.action == "migrate":
+        moved = cache.migrate()
+        print(f"migrated {moved} flat entr{'y' if moved == 1 else 'ies'} "
+              f"into shards under {cache.root}")
+        RUN_EXTRA["cache"] = {"migrated": moved}
+        return 0
+    if args.action == "prune":
+        if args.max_age_days is None and args.max_bytes is None:
+            raise SystemExit("cache prune needs --max-age-days and/or "
+                             "--max-bytes")
+        report = cache.prune(max_age_days=args.max_age_days,
+                             max_bytes=args.max_bytes)
+        print(f"{report} under {cache.root}")
+        RUN_EXTRA["cache"] = {"examined": report.examined,
+                              "removed": report.removed,
+                              "freed_bytes": report.freed_bytes}
+        return 0
+    removed = cache.clear()                              # action == "clear"
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from "
+          f"{cache.root}")
+    RUN_EXTRA["cache"] = {"cleared": removed}
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -545,7 +596,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat", default=None, metavar="FILE",
                    help="append every progress event as one JSON line to "
                         "FILE (tail-able; survives an interrupted sweep)")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="journal completions to FILE and resume from it: "
+                        "a re-run with the same grid skips every job "
+                        "already recorded (survives kill -9 mid-sweep)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache", parents=[common],
+        help="inspect and maintain the persistent design cache "
+             "(info / prune / migrate / clear)")
+    p.add_argument("action", choices=["info", "prune", "migrate", "clear"],
+                   help="info: entry counts, size and the cache-wide "
+                        "Pareto front; prune: evict by age/size; migrate: "
+                        "move flat-layout entries into shards; clear: "
+                        "delete everything")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_DESIGN_CACHE or "
+                        "~/.cache/repro-designs)")
+    p.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                   help="prune: evict entries older than D days")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                   help="prune: evict oldest-first until the cache fits "
+                        "B bytes")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser(
         "trace", parents=[common],

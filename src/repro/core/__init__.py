@@ -9,9 +9,18 @@ from repro.core.batch import (
     SweepReport,
     SweepResult,
     SweepSpec,
+    default_workers,
     run_sweep,
 )
-from repro.core.cache import DesignCache, cache_key, system_fingerprint
+from repro.core.cache import (
+    DesignCache,
+    PruneReport,
+    cache_key,
+    cache_key_from_fingerprint,
+    system_fingerprint,
+)
+from repro.core.manifest import ManifestError, SweepManifest, read_manifest
+from repro.core.scheduler import SchedulerConfig, WorkStealingScheduler
 from repro.core.coarse import CoarseTiming, coarse_timing
 from repro.core.design import Design
 from repro.core.errors import (
@@ -37,23 +46,31 @@ __all__ = [
     "Design",
     "DesignCache",
     "ExploredDesign",
+    "ManifestError",
     "NoScheduleExists",
     "NoSpaceMapExists",
     "PROBLEM_BUILDERS",
+    "PruneReport",
     "RestructureError",
+    "SchedulerConfig",
     "SweepJob",
+    "SweepManifest",
     "SweepReport",
     "SweepResult",
     "SweepSpec",
     "SynthesisError",
     "SynthesisOptions",
     "VerificationReport",
+    "WorkStealingScheduler",
     "cache_key",
+    "cache_key_from_fingerprint",
     "coarse_timing",
+    "default_workers",
     "explore_interconnects",
     "explore_uniform",
     "link_constraints",
     "pareto_front",
+    "read_manifest",
     "restructure",
     "run_sweep",
     "synthesize",

@@ -17,11 +17,23 @@ Shape of a sweep::
 
 Execution model:
 
-* the parent probes the :class:`~repro.core.cache.DesignCache` for every
-  job first — hits (including cached *failures*) never reach a worker;
-* misses go to a ``ProcessPoolExecutor`` (``workers`` processes, default
-  ``os.cpu_count() - 1``, min 1) or run serially with ``workers=0`` — the
-  debug path with no pickling or process boundaries;
+* every job is *keyed* once in the parent — the system is built and
+  fingerprinted once per distinct builder, then each (params,
+  interconnect, options) binding keys off that fingerprint — so the warm
+  path never pays per-job synthesis-IR construction;
+* with ``manifest=`` the sweep opens a
+  :class:`~repro.core.manifest.SweepManifest` journal: jobs already
+  recorded there are *restored* verbatim (not probed, not executed) and
+  every fresh completion is journaled, so a killed sweep resumes where it
+  died;
+* the parent probes the :class:`~repro.core.cache.DesignCache` for the
+  rest — hits (including cached *failures*) never reach a worker;
+* misses go to the
+  :class:`~repro.core.scheduler.WorkStealingScheduler` (``workers``
+  processes, default ``os.cpu_count() - 1``, min 1, overridable via
+  ``$REPRO_WORKERS``) which dispatches adaptive homogeneous chunks and
+  steals on idle; ``workers=0`` forces the serial in-process path — the
+  debug route with no pickling or process boundaries;
 * a failed job records its :class:`~repro.util.errors.SynthesisError`
   in its :class:`SweepResult` instead of killing the sweep;
 * per-job wall time and the solver's :mod:`repro.util.instrument` counters
@@ -35,17 +47,22 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.arrays.interconnect import Interconnect, resolve_interconnect
-from repro.core.cache import DesignCache, cache_key
+from repro.core.cache import (
+    DesignCache,
+    cache_key,
+    cache_key_from_fingerprint,
+    system_fingerprint,
+)
 from repro.core.design import Design
 from repro.core.globals import link_constraints
+from repro.core.manifest import SweepManifest
 from repro.core.nonuniform import synthesize
 from repro.core.options import SynthesisOptions
+from repro.core.scheduler import SchedulerConfig, WorkStealingScheduler
 from repro.core.verify import verify_design
 from repro.ir.program import RecurrenceSystem
 from repro.obs.progress import ProgressSink, SweepProgress
@@ -80,7 +97,18 @@ def resolve_problem(name: str) -> tuple[Callable[[], RecurrenceSystem],
 
 
 def default_workers() -> int:
-    """The issue-spec default: one process per core minus one, at least 1."""
+    """One process per core minus one, at least 1.
+
+    ``$REPRO_WORKERS`` overrides (clamped to ≥ 1) — the knob CI and
+    shared boxes use to stop a sweep claiming every core.  A value that
+    does not parse as an integer is ignored.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
     return max(1, (os.cpu_count() or 2) - 1)
 
 
@@ -208,6 +236,31 @@ class SweepResult:
             "verify_seeds": self.verify_seeds,
             "verify_failures": list(self.verify_failures),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepResult":
+        """Inverse of :meth:`to_dict` — how a
+        :class:`~repro.core.manifest.SweepManifest` restores journaled
+        results.  ``stats`` stays empty: worker deltas were merged into
+        the recording process and do not belong in a journal."""
+        return cls(
+            problem=payload["problem"],
+            params=dict(payload["params"]),
+            interconnect=payload["interconnect"],
+            key=payload["key"],
+            ok=payload["ok"],
+            cache_hit=payload.get("cache_hit", False),
+            cells=payload.get("cells"),
+            completion_time=payload.get("completion_time"),
+            wall_time=payload.get("wall_time", 0.0),
+            solve_time=payload.get("solve_time", 0.0),
+            error_type=payload.get("error_type"),
+            error=payload.get("error"),
+            error_module=payload.get("error_module"),
+            design_payload=payload.get("design"),
+            verify_seeds=payload.get("verify_seeds", 0),
+            verify_failures=list(payload.get("verify_failures") or ()),
+        )
 
     def _sort_key(self) -> tuple:
         return (self.problem, self.interconnect,
@@ -448,60 +501,26 @@ def _cross_check(results: Sequence[SweepResult],
             "fresh synthesis — clear the cache directory")
 
 
-def _run_pool(pending: Sequence[SweepJob], cache_root: "str | None",
-              use_cache: bool, nworkers: int,
-              tracker: "SweepProgress | None") -> list[SweepResult]:
-    """Execute ``pending`` on a worker pool, surviving worker death.
+def _key_jobs(jobs: Sequence[SweepJob]) -> list[str]:
+    """Cache key per job, building + fingerprinting each distinct system
+    once.
 
-    Results stream back through :func:`as_completed` (live progress, no
-    head-of-line blocking).  If the pool breaks — a worker segfaulted or
-    was OOM-killed — results already produced are salvaged from their
-    futures and every job without one retries on the **serial fallback**
-    in-process.  Stat merging dedups by job key throughout, so a salvaged
-    worker delta and a serial retry of the same job can never both charge
-    the parent registry (the historical double-count bug).
-    """
-    by_index: dict[int, SweepResult] = {}
-    merged: set[str] = set()
-    futures: dict = {}
-
-    def _accept(idx: int, result: SweepResult, *,
-                premerged: bool = False) -> None:
-        by_index[idx] = result
-        if premerged:
-            merged.add(result.key)
-        else:
-            _merge_stats(result.stats, job_key=result.key, merged=merged)
-        if tracker is not None:
-            tracker.job_done(ok=result.ok, cache_hit=result.cache_hit,
-                             label=result.label())
-
-    try:
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            futures = {
-                pool.submit(_execute_job, job, cache_root, use_cache,
-                            STATS.enabled, True): idx
-                for idx, job in enumerate(pending)}
-            for fut in as_completed(futures):
-                _accept(futures[fut], fut.result())
-    except BrokenProcessPool:
-        retry: list[int] = []
-        for fut, idx in futures.items():
-            if idx in by_index:
-                continue
-            if (fut.done() and not fut.cancelled()
-                    and fut.exception() is None):
-                _accept(idx, fut.result())
-            else:
-                retry.append(idx)
-        STATS.count("sweep.worker_retries", len(retry))
-        for idx in sorted(retry):
-            # Serial fallback: accrues stats directly into the caller's
-            # registry, so pre-mark the key — a duplicate delta for this
-            # job must never merge on top.
-            _accept(idx, _execute_job(pending[idx], cache_root, use_cache),
-                    premerged=True)
-    return [by_index[i] for i in sorted(by_index)]
+    The memo is keyed by the *builder callable*, not the problem name —
+    two custom jobs may share the name ``"dp"`` while building different
+    systems.  The fingerprint (repr-ing every rule of every equation)
+    dominates key cost, so the warm path collapses from
+    O(jobs · system size) to O(builders · system size)."""
+    fingerprints: dict[Callable, str] = {}
+    keys: list[str] = []
+    for job in jobs:
+        fp = fingerprints.get(job.builder)
+        if fp is None:
+            fp = system_fingerprint(job.builder())
+            fingerprints[job.builder] = fp
+        keys.append(cache_key_from_fingerprint(fp, job.params_dict,
+                                               job.interconnect,
+                                               job.options))
+    return keys
 
 
 def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
@@ -510,23 +529,35 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
               cache_dir: "str | os.PathLike | None" = None,
               cross_check: bool = True,
               progress: "ProgressSink | Iterable[ProgressSink] | None"
-              = None) -> SweepReport:
+              = None,
+              manifest: "str | os.PathLike | None" = None,
+              scheduler: "SchedulerConfig | None" = None) -> SweepReport:
     """Run every job of ``spec``; never raises on per-job infeasibility.
 
-    ``workers=None`` uses :func:`default_workers`; ``workers=0`` forces the
-    serial in-process path (useful under a debugger).  A worker process
-    that *dies* (rather than failing a job) breaks only itself: completed
-    results are salvaged and the unfinished jobs retry serially.  Results
-    come back sorted by (problem, interconnect, params) so downstream
-    tables are byte-stable regardless of completion order.
+    ``workers=None`` uses :func:`default_workers` (which honours
+    ``$REPRO_WORKERS``); ``workers=0`` forces the serial in-process path
+    (useful under a debugger).  A worker process that *dies* (rather than
+    failing a job) breaks only itself: completed results are salvaged and
+    the unfinished jobs retry serially.  Results come back sorted by
+    (problem, interconnect, params) so downstream tables are byte-stable
+    regardless of completion order.
+
+    ``manifest`` names a :class:`~repro.core.manifest.SweepManifest`
+    journal file: completions already recorded there are restored without
+    re-executing anything, every fresh completion is appended as it lands,
+    and the resulting report renders byte-identically to the uninterrupted
+    run's.  ``scheduler`` overrides the
+    :class:`~repro.core.scheduler.SchedulerConfig` chunking policy.
 
     ``progress`` takes one sink or an iterable of sinks (see
     :mod:`repro.obs.progress`): a structured event is emitted when totals
-    are known, after every finished job (cache hits included) and on
-    completion, carrying cumulative counts, throughput and ETA.
+    are known, after every finished job (cache hits and manifest-restored
+    jobs included) and on completion, carrying cumulative counts,
+    throughput and ETA.
     """
     jobs = spec.jobs() if isinstance(spec, SweepSpec) else list(spec)
     nworkers = default_workers() if workers is None else max(0, int(workers))
+    STATS.metrics.set_gauge("sweep.workers", nworkers)
     tracker = SweepProgress.create(progress, registry=STATS.metrics)
     t0 = time.perf_counter()
     cache = DesignCache(cache_dir) if use_cache else None
@@ -537,43 +568,75 @@ def run_sweep(spec: "SweepSpec | Iterable[SweepJob]", *,
     results: list[SweepResult] = []
     pending: list[SweepJob] = []
     jobs_by_key: dict[str, SweepJob] = {}
+
+    # Key every job up front when anything needs identities (a cache to
+    # probe or a manifest to match).  With neither, builders never run in
+    # the parent at all — the crash-recovery path depends on that.
+    keys: "list[str] | None" = None
+    if cache is not None or manifest is not None:
+        with STATS.stage("sweep.keys"):
+            keys = _key_jobs(jobs)
+            jobs_by_key.update(zip(keys, jobs))
+
+    journal: "SweepManifest | None" = None
+    restored: set[str] = set()
+    if manifest is not None:
+        journal = SweepManifest.open(manifest, keys)
+        for result in journal.restore():
+            restored.add(result.key)
+            results.append(result)
+            if tracker is not None:
+                tracker.job_done(ok=result.ok, cache_hit=result.cache_hit,
+                                 label=result.label(), resumed=True)
+        STATS.metrics.set_gauge("sweep.jobs_resumed", len(restored))
+
+    def _finished(result: SweepResult) -> None:
+        if journal is not None:
+            journal.record(result)
+
     hits = 0
-    with STATS.stage("sweep.probe"):
-        for job in jobs:
-            if cache is None:
-                pending.append(job)
-                continue
-            p0 = time.perf_counter()
-            key = cache_key(job.builder(), job.params_dict,
-                            job.interconnect, job.options)
-            jobs_by_key[key] = job
-            payload = cache.load(key)
-            if payload is None:
-                pending.append(job)
-            else:
+    try:
+        with STATS.stage("sweep.probe"):
+            for idx, job in enumerate(jobs):
+                key = keys[idx] if keys is not None else None
+                if key in restored:
+                    continue
+                p0 = time.perf_counter()
+                payload = cache.load(key) if cache is not None else None
+                if payload is None:
+                    pending.append(job)
+                    continue
                 hits += 1
                 result = _result_from_payload(
                     job, key, payload, time.perf_counter() - p0)
                 if job.verify_seeds > 0 and result.ok:
-                    _verify_result(job, result.design(job.builder()), result)
+                    _verify_result(job, result.design(job.builder()),
+                                   result)
                 results.append(result)
+                _finished(result)
                 if tracker is not None:
                     tracker.job_done(ok=result.ok, cache_hit=True,
                                      label=result.label())
 
-    with STATS.stage("sweep.solve"):
-        if not pending:
-            pass
-        elif nworkers == 0 or len(pending) == 1:
-            for job in pending:
-                result = _execute_job(job, cache_root, use_cache)
-                results.append(result)
-                if tracker is not None:
-                    tracker.job_done(ok=result.ok, cache_hit=False,
-                                     label=result.label())
-        else:
-            results.extend(_run_pool(pending, cache_root, use_cache,
-                                     min(nworkers, len(pending)), tracker))
+        with STATS.stage("sweep.solve"):
+            if not pending:
+                pass
+            elif nworkers == 0 or len(pending) == 1:
+                for job in pending:
+                    result = _execute_job(job, cache_root, use_cache)
+                    results.append(result)
+                    _finished(result)
+                    if tracker is not None:
+                        tracker.job_done(ok=result.ok, cache_hit=False,
+                                         label=result.label())
+            else:
+                results.extend(WorkStealingScheduler(
+                    pending, min(nworkers, len(pending)), cache_root,
+                    use_cache, tracker, config=scheduler,
+                    on_result=_finished).run())
+    finally:
+        if journal is not None:
+            journal.close()
 
     check = None
     if cross_check:

@@ -43,6 +43,7 @@ class ProgressEvent:
     done: int = 0
     failed: int = 0
     cache_hits: int = 0
+    resumed: int = 0                 # jobs restored from a sweep manifest
     elapsed: float = 0.0
     throughput: float = 0.0          # finished jobs per second
     eta_s: "float | None" = None
@@ -54,6 +55,8 @@ class ProgressEvent:
                      "cache_hits": self.cache_hits,
                      "elapsed_s": round(self.elapsed, 6),
                      "throughput": round(self.throughput, 3)}
+        if self.resumed:
+            out["resumed"] = self.resumed
         if self.eta_s is not None:
             out["eta_s"] = round(self.eta_s, 3)
         if self.label:
@@ -67,6 +70,8 @@ class ProgressEvent:
             bits.append(f"{self.failed} failed")
         if self.cache_hits:
             bits.append(f"{self.cache_hits} cached")
+        if self.resumed:
+            bits.append(f"{self.resumed} resumed")
         bits.append(f"{self.throughput:.1f} jobs/s")
         if self.eta_s is not None and self.kind != "end":
             bits.append(f"eta {self.eta_s:.1f}s")
@@ -149,6 +154,7 @@ def read_heartbeat(path) -> list[ProgressEvent]:
                 kind=data["kind"], total=data["total"],
                 done=data.get("done", 0), failed=data.get("failed", 0),
                 cache_hits=data.get("cache_hits", 0),
+                resumed=data.get("resumed", 0),
                 elapsed=data.get("elapsed_s", 0.0),
                 throughput=data.get("throughput", 0.0),
                 eta_s=data.get("eta_s"), label=data.get("label", "")))
@@ -172,6 +178,7 @@ class SweepProgress:
     done: int = 0
     failed: int = 0
     cache_hits: int = 0
+    resumed: int = 0
     _t0: float = 0.0
     _dead: list = field(default_factory=list)
 
@@ -192,12 +199,17 @@ class SweepProgress:
         self._t0 = self.clock()
         self._emit("start", "")
 
-    def job_done(self, *, ok: bool, cache_hit: bool, label: str) -> None:
+    def job_done(self, *, ok: bool, cache_hit: bool, label: str,
+                 resumed: bool = False) -> None:
+        """One job finished — executed, cache-hit, or (``resumed=True``)
+        restored from a sweep manifest without re-running anything."""
         self.done += 1
         if not ok:
             self.failed += 1
         if cache_hit:
             self.cache_hits += 1
+        if resumed:
+            self.resumed += 1
         self._emit("job", label)
 
     def finish(self) -> None:
@@ -211,7 +223,8 @@ class SweepProgress:
             eta = max(self.total - self.done, 0) / throughput
         event = ProgressEvent(kind=kind, total=self.total, done=self.done,
                               failed=self.failed,
-                              cache_hits=self.cache_hits, elapsed=elapsed,
+                              cache_hits=self.cache_hits,
+                              resumed=self.resumed, elapsed=elapsed,
                               throughput=throughput, eta_s=eta, label=label)
         if self.registry is not None:
             self.registry.set_gauge("sweep.jobs_done", self.done)

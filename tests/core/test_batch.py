@@ -362,3 +362,29 @@ class TestMergeDedup:
         finally:
             STATS.metrics.gauges.pop("sentinel.gauge", None)
             STATS.metrics.histograms.pop("sentinel.stage", None)
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        from repro.core import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_clamped_to_at_least_one(self, monkeypatch):
+        from repro.core import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert default_workers() == 1
+
+    def test_unparseable_env_falls_back(self, monkeypatch):
+        from repro.core import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert default_workers() >= 1
+
+    def test_sweep_publishes_worker_gauge(self, tmp_path):
+        run_sweep(SMOKE, workers=2, use_cache=False, cross_check=False)
+        assert STATS.metrics.gauges["sweep.workers"] == 2

@@ -145,3 +145,140 @@ class TestDesignCache:
         cache.put(key, dp_design_fig1)
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestShardedLayout:
+    def test_store_writes_into_shard(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("abcdef0123", {"status": "ok"})
+        assert (tmp_path / "ab" / "cd" / "abcdef0123.json").is_file()
+        assert not (tmp_path / "abcdef0123.json").exists()
+        assert "abcdef0123" in cache
+
+    def test_load_migrates_flat_entry(self, tmp_path):
+        from repro.core.cache import CACHE_FORMAT_VERSION
+
+        cache = DesignCache(tmp_path)
+        flat = tmp_path / "abcdef0123.json"
+        flat.write_text(json.dumps({"format": CACHE_FORMAT_VERSION,
+                                    "key": "abcdef0123", "status": "ok",
+                                    "cells": 4, "completion_time": 7}))
+        payload = cache.load("abcdef0123")
+        assert payload is not None and payload["cells"] == 4
+        assert not flat.exists()
+        assert cache.path_for("abcdef0123").is_file()
+        # Second load takes the sharded fast path and still hits.
+        assert cache.load("abcdef0123")["completion_time"] == 7
+
+    def test_bulk_migrate(self, tmp_path):
+        from repro.core.cache import CACHE_FORMAT_VERSION
+
+        cache = DesignCache(tmp_path)
+        for i in range(3):
+            key = f"{i:02d}aa{i}fingerprint"
+            (tmp_path / f"{key}.json").write_text(json.dumps(
+                {"format": CACHE_FORMAT_VERSION, "key": key,
+                 "status": "ok", "cells": i + 1, "completion_time": 9}))
+        assert cache.migrate() == 3
+        assert not list(tmp_path.glob("[0-9]*.json"))
+        assert len(cache) == 3
+
+    def test_flattened_cache_still_serves_a_warm_sweep(self, tmp_path):
+        """A cache written by the pre-shard layout keeps working: entries
+        migrate on first touch and the warm sweep is all hits."""
+        from repro.core import SweepSpec, run_sweep
+
+        spec = SweepSpec(problems=("dp",), interconnects=("fig1",),
+                         param_grid=({"n": 5}, {"n": 6}))
+        run_sweep(spec, workers=0, cache_dir=tmp_path, cross_check=False)
+        # Simulate the old layout: flatten every sharded entry.
+        for path in list(tmp_path.glob("??/??/*.json")):
+            path.rename(tmp_path / path.name)
+        (tmp_path / DesignCache.INDEX_NAME).unlink()
+        warm = run_sweep(spec, workers=0, cache_dir=tmp_path,
+                         cross_check=False)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert not list(tmp_path.glob("*.json"))       # all re-sharded
+
+    def test_len_uses_index_not_a_walk(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        for i in range(4):
+            cache.store(f"ab{i}d{'0' * 6}", {"status": "ok"})
+        assert len(cache) == 4
+        # Orphan file not in the index stays invisible until a rebuild.
+        orphan = tmp_path / "zz" / "yy" / "zzyyorphan.json"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_text("{}")
+        assert len(cache) == 4
+        cache.rebuild_index()
+        assert len(cache) == 4            # orphan has no format field
+
+    def test_rebuild_index_after_loss(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok", "cells": 3,
+                                       "completion_time": 5})
+        cache.index_path.unlink()
+        assert cache.rebuild_index() == 1
+        (entry,) = cache.entries()
+        assert entry["cells"] == 3 and entry["status"] == "ok"
+
+    def test_pareto_from_index(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("aaaa" + "0" * 6, {"status": "ok", "cells": 2,
+                                       "completion_time": 10})
+        cache.store("bbbb" + "0" * 6, {"status": "ok", "cells": 8,
+                                       "completion_time": 4})
+        cache.store("cccc" + "0" * 6, {"status": "ok", "cells": 9,
+                                       "completion_time": 11})  # dominated
+        cache.store("dddd" + "0" * 6, {"status": "error"})
+        front = cache.pareto()
+        assert [r["key"][:4] for r in front] == ["bbbb", "aaaa"]
+
+    def test_clear_removes_both_layouts(self, tmp_path):
+        from repro.core.cache import CACHE_FORMAT_VERSION
+
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok"})
+        (tmp_path / "flatflat00.json").write_text(json.dumps(
+            {"format": CACHE_FORMAT_VERSION, "key": "flatflat00",
+             "status": "ok"}))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestPrune:
+    def test_age_eviction(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok"})
+        report = cache.prune(max_age_days=0)
+        assert report.removed == 1 and report.by_reason == {"age": 1}
+        assert report.freed_bytes > 0
+        assert len(cache) == 0
+
+    def test_size_eviction_is_oldest_first(self, tmp_path):
+        import time as _time
+
+        cache = DesignCache(tmp_path)
+        cache.store("old0" + "0" * 6, {"status": "ok"})
+        _time.sleep(0.02)
+        cache.store("new0" + "0" * 6, {"status": "ok"})
+        big = sum(e["bytes"] for e in cache.entries())
+        report = cache.prune(max_bytes=big - 1)
+        assert report.removed == 1 and report.by_reason == {"size": 1}
+        assert [e["key"][:4] for e in cache.entries()] == ["new0"]
+
+    def test_prune_without_limits_is_a_noop(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok"})
+        report = cache.prune()
+        assert report.examined == 1 and report.removed == 0
+        assert len(cache) == 1
+
+    def test_eviction_counters(self, tmp_path):
+        from repro.util.instrument import STATS
+
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok"})
+        before = STATS.metrics.counter("cache.evictions").value
+        cache.prune(max_age_days=0)
+        assert STATS.metrics.counter("cache.evictions").value == before + 1

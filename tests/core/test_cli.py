@@ -331,3 +331,64 @@ class TestStatsAndMetrics:
                      "--interconnect", "fig1", "--n", "6"]) == 0
         capsys.readouterr()
         assert len(list(metrics.glob("run-*.json"))) == 1
+
+
+class TestSweepManifest:
+    def test_manifest_resume_via_cli(self, tmp_path, capsys):
+        manifest = tmp_path / "sweep.manifest"
+        argv = ["sweep", "--problems", "dp", "--interconnects", "fig1,fig2",
+                "--n", "5,6", "--serial", "--no-cache", "--no-cross-check",
+                "--manifest", str(manifest)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "4/4 journaled, 0 restored this run" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4/4 journaled, 4 restored this run" in warm
+
+        def tables(text):
+            return [ln for ln in text.splitlines()
+                    if ln.startswith(("|", "+"))]
+
+        assert tables(warm) == tables(cold)
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        assert main(["sweep", "--problems", "dp", "--interconnects",
+                     "fig1,fig2", "--n", "5", "--serial",
+                     "--no-cross-check", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_info(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2 (2 ok, 0 negative)" in out
+        assert "completion" in out            # the cache-wide Pareto table
+
+    def test_prune_needs_a_limit(self, tmp_path):
+        with pytest.raises(SystemExit, match="max-age-days"):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
+    def test_prune_by_age(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-age-days", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2/2 entries" in out
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_migrate_and_clear(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        # Flatten the shards to simulate a legacy cache, then migrate.
+        for path in list(tmp_path.glob("??/??/*.json")):
+            path.rename(tmp_path / path.name)
+        capsys.readouterr()
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert "migrated 2 flat entries" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.json"))
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
