@@ -192,12 +192,14 @@ class PruneReport:
     removed: int = 0
     freed_bytes: int = 0
     by_reason: dict = field(default_factory=dict)   # reason -> count
+    failed: int = 0                 # doomed entries that would not unlink
 
     def __str__(self) -> str:
         reasons = ", ".join(f"{k}={v}" for k, v in
                             sorted(self.by_reason.items())) or "none"
+        tail = f", {self.failed} failed" if self.failed else ""
         return (f"pruned {self.removed}/{self.examined} entries, "
-                f"freed {self.freed_bytes} bytes ({reasons})")
+                f"freed {self.freed_bytes} bytes ({reasons}){tail}")
 
 
 class DesignCache:
@@ -478,8 +480,10 @@ class DesignCache:
               max_bytes: "int | None" = None) -> PruneReport:
         """Evict entries older than ``max_age_days``, then oldest-first
         until the cache fits ``max_bytes``; compacts the index afterwards.
-        Evictions land in the ``cache.evictions`` / ``cache.evicted_bytes``
-        counters."""
+        Entries still at their flat pre-shard path are evicted in place;
+        an entry that cannot be unlinked at all counts in
+        :attr:`PruneReport.failed`.  Evictions land in the
+        ``cache.evictions`` / ``cache.evicted_bytes`` counters."""
         report = PruneReport()
         records = self.entries()
         report.examined = len(records)
@@ -503,11 +507,19 @@ class DesignCache:
             survivors = [r for r in survivors
                          if r["key"] not in doomed_keys]
         for r, reason in doomed:
+            # An entry may still sit at its flat pre-shard path (never
+            # touched since the layout change) — evict it from wherever
+            # it actually lives, and surface entries that would not go.
             path = self.path_for(r["key"])
+            if not path.is_file():
+                flat = self._flat_path(r["key"])
+                if flat.is_file():
+                    path = flat
             try:
                 size = path.stat().st_size
                 path.unlink()
             except OSError:
+                report.failed += 1
                 continue
             report.removed += 1
             report.freed_bytes += size

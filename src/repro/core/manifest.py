@@ -4,7 +4,11 @@ A million-design sweep takes hours; losing it to a reboot, an OOM kill or
 a fat-fingered ^C means re-paying every completed job.  The manifest is
 the sweep's write-ahead journal: one *header* line identifying the job
 set, then one *done* line per completed job carrying the full
-:class:`~repro.core.batch.SweepResult` payload.  ``run_sweep(...,
+:class:`~repro.core.batch.SweepResult` payload.  Jobs are journaled by
+their **engine-qualified identity** (``<cache key>::<engine>``, see
+:attr:`~repro.core.batch.SweepResult.identity`): the cache key excludes
+the engine, so two jobs differing only in engine share a key — each must
+get its own done-record or resuming would silently drop one of them.  ``run_sweep(...,
 manifest=path)`` opens the journal before executing anything and appends
 as results land, fsync'ing in batches (``fsync_every``), so the file on
 disk is never more than a batch behind reality.
@@ -40,7 +44,9 @@ if TYPE_CHECKING:                                       # pragma: no cover
     from repro.core.batch import SweepResult
 
 #: Bump when the journal layout changes incompatibly.
-MANIFEST_VERSION = 1
+#: v2: done-records are keyed by engine-qualified job identity
+#: (``<cache key>::<engine>``) instead of the bare cache key.
+MANIFEST_VERSION = 2
 
 #: Default completion-records-per-fsync.  Batching amortises the sync
 #: cost at ~no durability loss: a crash forfeits at most a batch of
@@ -56,7 +62,8 @@ class ManifestError(ValueError):
 
 
 def jobs_fingerprint(keys: Iterable[str]) -> str:
-    """Order-independent SHA-256 identity of a sweep's job-key set."""
+    """Order-independent SHA-256 identity of a sweep's job-identity set
+    (``run_sweep`` passes engine-qualified identities, not cache keys)."""
     digest = hashlib.sha256()
     for key in sorted(keys):
         digest.update(key.encode("ascii"))
@@ -68,7 +75,7 @@ class SweepManifest:
     """The journal behind ``run_sweep(..., manifest=...)``.
 
     Lifecycle: :meth:`open` parses-or-creates the file and exposes
-    :attr:`completed` (key → recorded result payload); the sweep calls
+    :attr:`completed` (job identity → recorded result payload); the sweep calls
     :meth:`record` per finished job and :meth:`close` at the end.  The
     file handle stays open for the sweep's duration — appends are one
     ``write`` each, fsync'd every ``fsync_every`` records and on close.
@@ -89,8 +96,9 @@ class SweepManifest:
     @classmethod
     def open(cls, path: "str | os.PathLike", job_keys: Iterable[str],
              fsync_every: int = DEFAULT_FSYNC_EVERY) -> "SweepManifest":
-        """Create the journal for ``job_keys``, or resume the existing one
-        (validating that it journals the same job set)."""
+        """Create the journal for ``job_keys`` (engine-qualified job
+        identities), or resume the existing one (validating that it
+        journals the same job set)."""
         manifest = cls(path, fsync_every=fsync_every)
         keys = list(job_keys)
         manifest.total = len(keys)
@@ -125,10 +133,15 @@ class SweepManifest:
         if not records:
             return False
         header = records[0]
-        if (header.get("kind") != "header"
-                or header.get("version") != MANIFEST_VERSION):
+        if header.get("kind") != "header":
             raise ManifestError(
                 f"{self.path}: not a sweep manifest (bad header)")
+        if header.get("version") != MANIFEST_VERSION:
+            raise ManifestError(
+                f"{self.path}: manifest version "
+                f"{header.get('version')!r} is not the supported "
+                f"version {MANIFEST_VERSION} — start a fresh manifest "
+                f"file")
         if header.get("fingerprint") != self._fingerprint:
             raise ManifestError(
                 f"{self.path}: manifest belongs to a different sweep "
@@ -148,12 +161,13 @@ class SweepManifest:
     # -- journaling ----------------------------------------------------------
 
     def record(self, result: "SweepResult") -> None:
-        """Journal one finished job (idempotent per key)."""
-        if result.key in self.completed:
+        """Journal one finished job (idempotent per job identity)."""
+        ident = result.identity
+        if ident in self.completed:
             return
         payload = result.to_dict()
-        self.completed[result.key] = payload
-        self._append({"kind": "done", "key": result.key,
+        self.completed[ident] = payload
+        self._append({"kind": "done", "key": ident,
                       "result": payload})
         _RECORDED.inc()
         self._since_fsync += 1

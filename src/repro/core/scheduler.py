@@ -200,6 +200,8 @@ class WorkStealingScheduler:
         # The cache key deliberately excludes the engine (it does not
         # change the synthesized design), so two jobs differing only in
         # engine share it; the *stats* dedup key must keep them distinct.
+        # Same engine-qualified shape as SweepResult.identity, derived
+        # from the job so a result with a blank engine cannot collide.
         return f"{result.key}::{self.jobs[idx].options.engine}"
 
     def _accept(self, idx: int, result: "SweepResult", *,

@@ -267,6 +267,30 @@ class TestPrune:
         assert report.removed == 1 and report.by_reason == {"size": 1}
         assert [e["key"][:4] for e in cache.entries()] == ["new0"]
 
+    def test_prune_evicts_unmigrated_flat_entries(self, tmp_path):
+        from repro.core.cache import CACHE_FORMAT_VERSION
+
+        cache = DesignCache(tmp_path)
+        cache.store("abcd" + "0" * 6, {"status": "ok"})
+        flat = tmp_path / ("flatflat00" + ".json")
+        flat.write_text(json.dumps(
+            {"format": CACHE_FORMAT_VERSION, "key": "flatflat00",
+             "status": "ok"}))
+        cache.rebuild_index()
+        report = cache.prune(max_age_days=0)
+        assert report.removed == 2 and report.failed == 0
+        assert not flat.exists()
+        assert len(cache) == 0
+
+    def test_prune_counts_unremovable_entries(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        key = "abcd" + "0" * 6
+        cache.store(key, {"status": "ok"})
+        cache.path_for(key).unlink()          # entry vanished from disk
+        report = cache.prune(max_age_days=0)
+        assert report.removed == 0 and report.failed == 1
+        assert "1 failed" in str(report)
+
     def test_prune_without_limits_is_a_noop(self, tmp_path):
         cache = DesignCache(tmp_path)
         cache.store("abcd" + "0" * 6, {"status": "ok"})
